@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! preemption on/off, ring-search fanout, and the baseline fallback orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::{FallbackOrder, SimConfig, Simulation};
+
+fn bench_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 40;
+    config.sim_duration_s = 2_000.0;
+    config
+}
+
+fn bench_preemption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_preemption");
+    group.sample_size(10);
+    for preemption in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("enabled", preemption),
+            &preemption,
+            |b, preemption| {
+                b.iter(|| {
+                    let mut config = bench_config();
+                    config.preemption = *preemption;
+                    Simulation::new(config, 7).run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ring_search_fanout");
+    group.sample_size(10);
+    for fanout in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("fanout", fanout), &fanout, |b, fanout| {
+            b.iter(|| {
+                let mut config = bench_config();
+                config.ring_search_fanout = *fanout;
+                Simulation::new(config, 9).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fallback_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fallback_order");
+    group.sample_size(10);
+    for (label, fallback) in [
+        ("fifo", FallbackOrder::Fifo),
+        ("emule", FallbackOrder::EmuleCredit),
+        ("tit_for_tat", FallbackOrder::TitForTat),
+    ] {
+        group.bench_with_input(BenchmarkId::new("order", label), &fallback, |b, fallback| {
+            b.iter(|| {
+                let mut config = bench_config();
+                config.fallback = *fallback;
+                Simulation::new(config, 11).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preemption, bench_search_fanout, bench_fallback_orders);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the Bloom-filter request-tree summaries (Section V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::DetRng;
+use exchange::{BloomRingIndex, RequestGraph, RequestTree};
+
+fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut graph = RequestGraph::new();
+    while graph.len() < edges {
+        let requester = rng.gen_range(0..peers);
+        let provider = rng.gen_range(0..peers);
+        if requester == provider {
+            continue;
+        }
+        graph.add_request(requester, provider, rng.gen_range(0u32..500));
+    }
+    graph
+}
+
+fn bench_summary_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_summary_vs_exact_tree");
+    group.sample_size(30);
+    for &edges in &[1_200usize, 6_000] {
+        let graph = random_graph(200, edges, 17);
+        group.bench_with_input(BenchmarkId::new("bloom_build", edges), &graph, |b, graph| {
+            b.iter(|| BloomRingIndex::build(graph, 0, 4))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_build", edges), &graph, |b, graph| {
+            b.iter(|| RequestTree::build(graph, 0, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_summary_lookup(c: &mut Criterion) {
+    let graph = random_graph(200, 6_000, 19);
+    let index = BloomRingIndex::build(&graph, 0, 4);
+    let tree = RequestTree::build(&graph, 0, 4);
+    c.bench_function("bloom_ring_size_hint_200_lookups", |b| {
+        b.iter(|| (0u32..200).filter_map(|p| index.ring_size_hint(&p)).count())
+    });
+    c.bench_function("exact_tree_depth_200_lookups", |b| {
+        b.iter(|| (0u32..200).filter_map(|p| tree.depth_of(&p)).count())
+    });
+}
+
+criterion_group!(benches, bench_summary_build, bench_summary_lookup);
+criterion_main!(benches);

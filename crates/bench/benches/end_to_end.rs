@@ -1,0 +1,53 @@
+//! End-to-end benchmarks: one small simulation run per exchange discipline.
+//!
+//! These measure the cost of the whole simulator (event loop, scheduling,
+//! ring search, metrics) and let regressions in any layer show up as a single
+//! number per discipline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exchange::ExchangePolicy;
+use sim::{SimConfig, Simulation};
+
+fn bench_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 40;
+    config.sim_duration_s = 2_000.0;
+    config
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_run");
+    group.sample_size(10);
+    for policy in ExchangePolicy::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::new("discipline", policy.label()),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut config = bench_config();
+                    config.discipline = *policy;
+                    Simulation::new(config, 3).run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_system_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_size");
+    group.sample_size(10);
+    for peers in [20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::new("peers", peers), &peers, |b, peers| {
+            b.iter(|| {
+                let mut config = bench_config();
+                config.num_peers = *peers;
+                Simulation::new(config, 5).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disciplines, bench_system_size);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of request-tree construction and path extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::DetRng;
+use exchange::{RequestGraph, RequestTree};
+
+fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut graph = RequestGraph::new();
+    while graph.len() < edges {
+        let requester = rng.gen_range(0..peers);
+        let provider = rng.gen_range(0..peers);
+        if requester == provider {
+            continue;
+        }
+        graph.add_request(requester, provider, rng.gen_range(0u32..500));
+    }
+    graph
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("request_tree_build");
+    group.sample_size(30);
+    for &edges in &[300usize, 1_200, 6_000] {
+        let graph = random_graph(200, edges, 11);
+        for depth in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("edges{edges}"), format!("depth{depth}")),
+                &graph,
+                |b, graph| b.iter(|| RequestTree::build(graph, 0, depth)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_path_extraction(c: &mut Criterion) {
+    let graph = random_graph(200, 3_000, 13);
+    let tree = RequestTree::build(&graph, 0, 4);
+    let peers: Vec<u32> = tree.nodes().iter().map(|n| n.peer).collect();
+    c.bench_function("request_tree_path_to_all_nodes", |b| {
+        b.iter(|| {
+            peers
+                .iter()
+                .filter_map(|p| tree.path_to(p))
+                .map(|path| path.len())
+                .sum::<usize>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_tree_build, bench_path_extraction);
+criterion_main!(benches);

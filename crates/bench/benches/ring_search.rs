@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the exchange ring search on synthetic request graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::DetRng;
+use exchange::{RequestGraph, RingPreference, RingSearch, SearchPolicy};
+
+/// Builds a random request graph with `peers` peers and `edges` requests.
+fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut graph = RequestGraph::new();
+    while graph.len() < edges {
+        let requester = rng.gen_range(0..peers);
+        let provider = rng.gen_range(0..peers);
+        if requester == provider {
+            continue;
+        }
+        let object = rng.gen_range(0u32..1_000);
+        graph.add_request(requester, provider, object);
+    }
+    graph
+}
+
+fn bench_ring_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_search");
+    group.sample_size(20);
+    for &(peers, edges) in &[(50u32, 300usize), (200, 1_200), (200, 6_000)] {
+        let graph = random_graph(peers, edges, 7);
+        let wants: Vec<u32> = (0..6).map(|i| i * 37 % 1_000).collect();
+        for max_ring in [2usize, 5] {
+            let policy = SearchPolicy::new(max_ring, RingPreference::ShorterFirst);
+            let search = RingSearch::new(policy)
+                .with_expansion_budget(6_000)
+                .with_fanout(16);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("peers{peers}_edges{edges}"),
+                    format!("max_ring{max_ring}"),
+                ),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        // Ownership oracle: a third of peers "own" any given object.
+                        search.find(graph, 0, &wants, |p, o| (p + o) % 3 == 0)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_search);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 12: mean download times vs. the fraction of non-sharing peers.
+
+use bench_support::{fmt_minutes, print_figure_header, FigureOptions};
+use exchange::ExchangePolicy;
+use metrics::Table;
+use sim::experiment::freerider_sweep;
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let base = options.base_config();
+    print_figure_header(
+        "Figure 12 — mean download time (minutes) vs fraction of non-sharing peers",
+        &options,
+        &base,
+    );
+
+    let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let policies = ExchangePolicy::paper_set();
+    let points = freerider_sweep(&base, &policies, &fractions, options.seed);
+
+    let mut table = Table::new(vec![
+        "non-sharing fraction",
+        "no-exchange",
+        "pairwise/sharing",
+        "pairwise/non-sharing",
+        "5-2-way/sharing",
+        "5-2-way/non-sharing",
+        "2-5-way/sharing",
+        "2-5-way/non-sharing",
+    ]);
+    for &fraction in &fractions {
+        let at = |policy: &ExchangePolicy| {
+            points
+                .iter()
+                .find(|p| p.freerider_fraction == fraction && p.policy == *policy)
+                .expect("sweep covers every (fraction, policy) pair")
+        };
+        let none = at(&ExchangePolicy::NoExchange);
+        let pairwise = at(&ExchangePolicy::Pairwise);
+        let longer = at(&ExchangePolicy::five_two_way());
+        let shorter = at(&ExchangePolicy::two_five_way());
+        table.add_row(vec![
+            format!("{fraction:.1}"),
+            fmt_minutes(none.sharing_min.or(none.non_sharing_min)),
+            fmt_minutes(pairwise.sharing_min),
+            fmt_minutes(pairwise.non_sharing_min),
+            fmt_minutes(longer.sharing_min),
+            fmt_minutes(longer.non_sharing_min),
+            fmt_minutes(shorter.sharing_min),
+            fmt_minutes(shorter.non_sharing_min),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper shape: the gap between sharing and non-sharing users persists across the");
+    println!("whole range of free-rider fractions; with few sharers, the rare sharer gets a");
+    println!("large reward, and with few free-riders, the free-riders pay a large penalty.");
+}

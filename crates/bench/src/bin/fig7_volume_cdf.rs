@@ -1,0 +1,40 @@
+//! Figure 7: CDF of the amount of data transferred per session, broken down
+//! by session type (non-exchange, pairwise, 3-way, 4-way, 5-way).
+
+use bench_support::{print_figure_header, FigureOptions};
+use metrics::Table;
+use sim::experiment::{figure_session_kinds, session_distributions};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let base = options.base_config();
+    print_figure_header(
+        "Figure 7 — CDF of bytes transferred per session, by session type",
+        &options,
+        &base,
+    );
+
+    let report = session_distributions(&base, options.seed);
+    let kinds = figure_session_kinds(5);
+    let fractions = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+    let mut headers = vec!["session type".to_string(), "sessions".to_string(), "mean kB".to_string()];
+    headers.extend(fractions.iter().map(|f| format!("p{:.0} kB", f * 100.0)));
+    let mut table = Table::new(headers);
+
+    for kind in kinds {
+        let Some(cdf) = report.session_bytes_cdf(kind) else {
+            continue;
+        };
+        let count = report.session_counts().get(&kind).copied().unwrap_or(0);
+        let mean_kb = report.mean_session_bytes(kind).unwrap_or(0.0) / 1024.0;
+        let mut row = vec![kind.label(), count.to_string(), format!("{mean_kb:.0}")];
+        for &f in &fractions {
+            row.push(format!("{:.0}", cdf.percentile(f) / 1024.0));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+    println!("Paper shape: exchange sessions carry more data than non-exchange sessions,");
+    println!("and shorter rings (pairwise) carry more per session than longer rings.");
+}

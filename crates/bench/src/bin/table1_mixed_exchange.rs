@@ -1,0 +1,52 @@
+//! Table I / Figure 3: the middleman scenario that a pure ring exchange
+//! cannot serve, and the mixed object-and-capacity exchange that can.
+
+use exchange::mixed::{plan_mixed_exchange, pure_exchange_rates, PeerSpec};
+use metrics::Table;
+
+fn main() {
+    println!("Table I / Figure 3 — mixed object + capacity exchange\n");
+
+    // The exact scenario of Table I.
+    let specs = vec![
+        PeerSpec { peer: "A", upload_capacity: 10.0, has: vec![], wants: vec!['x'] },
+        PeerSpec { peer: "B", upload_capacity: 5.0, has: vec!['x'], wants: vec!['y'] },
+        PeerSpec { peer: "C", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
+        PeerSpec { peer: "D", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
+    ];
+
+    let mut scenario = Table::new(vec!["peer", "upload", "has", "wants"]);
+    for s in &specs {
+        scenario.add_row(vec![
+            s.peer.to_string(),
+            format!("{:.0}", s.upload_capacity),
+            if s.has.is_empty() { "-".into() } else { s.has.iter().collect() },
+            s.wants.iter().collect(),
+        ]);
+    }
+    println!("{scenario}");
+
+    let pure = pure_exchange_rates(&specs);
+    let plan = plan_mixed_exchange(&specs).expect("the Table I structure is present");
+
+    let mut rates = Table::new(vec!["peer", "pure exchange rate", "mixed exchange rate"]);
+    for s in &specs {
+        rates.add_row(vec![
+            s.peer.to_string(),
+            format!("{:.0}", pure[&s.peer]),
+            format!("{:.0}", plan.download_rate_of(&s.peer)),
+        ]);
+    }
+    println!("{rates}");
+
+    println!("Flows of the mixed plan (Figure 3):");
+    for flow in plan.flows() {
+        println!(
+            "  {} -> {}  object {}  rate {:.0}",
+            flow.from, flow.to, flow.object, flow.rate
+        );
+    }
+    println!();
+    println!("As in the paper: B now receives y at rate 10 instead of 5, A and D are served");
+    println!("at rate 5 instead of not at all, and C is no worse off.");
+}

@@ -1,0 +1,191 @@
+//! Shared support code for the figure-regeneration binaries and benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They all accept:
+//!
+//! * `--scale <f>` — multiply the simulated duration (and warm-up) by `f`
+//!   (default 0.25; `1.0` reproduces the full-length runs recorded in
+//!   EXPERIMENTS.md, `0.05` gives a quick smoke run).
+//! * `--peers <n>` — override the number of peers (default 200, Table II).
+//! * `--seed <s>` — the deterministic seed (default 1).
+//!
+//! The binaries print the same rows/series the paper reports, using
+//! [`metrics::Table`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sim::SimConfig;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureOptions {
+    /// Duration scale factor relative to the full-length experiment.
+    pub scale: f64,
+    /// Number of peers in the simulated system.
+    pub peers: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Object size in MiB (Table II uses 20; smaller objects shrink the
+    /// system's time constant so that scaled-down runs still reach steady
+    /// state — see EXPERIMENTS.md).
+    pub object_mb: u64,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions {
+            scale: 0.25,
+            peers: 200,
+            seed: 1,
+            object_mb: 20,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// Parses `--scale`, `--peers` and `--seed` from an argument iterator
+    /// (unknown arguments are ignored so that `cargo bench`-style extra
+    /// arguments do not break the binaries).
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = FigureOptions::default();
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1);
+            match (args[i].as_str(), value) {
+                ("--scale", Some(v)) => {
+                    if let Ok(f) = v.parse::<f64>() {
+                        if f > 0.0 {
+                            options.scale = f;
+                        }
+                    }
+                    i += 1;
+                }
+                ("--peers", Some(v)) => {
+                    if let Ok(n) = v.parse::<usize>() {
+                        if n >= 2 {
+                            options.peers = n;
+                        }
+                    }
+                    i += 1;
+                }
+                ("--seed", Some(v)) => {
+                    if let Ok(s) = v.parse::<u64>() {
+                        options.seed = s;
+                    }
+                    i += 1;
+                }
+                ("--object-mb", Some(v)) => {
+                    if let Ok(m) = v.parse::<u64>() {
+                        if m > 0 {
+                            options.object_mb = m;
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// Parses the options from the process environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The base configuration every figure starts from: the paper's Table II
+    /// parameters with the requested peer count and duration scale.
+    #[must_use]
+    pub fn base_config(&self) -> SimConfig {
+        let mut config = SimConfig::paper_defaults().with_duration_scale(self.scale);
+        config.num_peers = self.peers;
+        config.workload.object_size_bytes = self.object_mb * 1024 * 1024;
+        config
+    }
+}
+
+/// Formats an optional mean (in minutes) for table output.
+#[must_use]
+pub fn fmt_minutes(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Formats an optional ratio.
+#[must_use]
+pub fn fmt_ratio(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Prints the standard header every figure binary starts with.
+pub fn print_figure_header(title: &str, options: &FigureOptions, config: &SimConfig) {
+    println!("{title}");
+    println!(
+        "{} peers, {:.1}h simulated ({:.1}h warm-up), seed {}, scale {}",
+        config.num_peers,
+        config.sim_duration_s / 3600.0,
+        config.warmup_s / 3600.0,
+        options.seed,
+        options.scale
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> FigureOptions {
+        FigureOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let options = parse(&[]);
+        assert_eq!(options, FigureOptions::default());
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let options = parse(&["--scale", "0.5", "--peers", "100", "--seed", "7", "--object-mb", "5"]);
+        assert_eq!(options.scale, 0.5);
+        assert_eq!(options.peers, 100);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.object_mb, 5);
+    }
+
+    #[test]
+    fn ignores_unknown_and_invalid_flags() {
+        let options = parse(&["--bench", "--scale", "abc", "--peers", "1", "extra"]);
+        assert_eq!(options.scale, FigureOptions::default().scale);
+        assert_eq!(options.peers, FigureOptions::default().peers);
+    }
+
+    #[test]
+    fn base_config_applies_scale_peers_and_object_size() {
+        let options = parse(&["--scale", "0.1", "--peers", "50", "--object-mb", "5"]);
+        let config = options.base_config();
+        assert_eq!(config.num_peers, 50);
+        assert!((config.sim_duration_s - 0.1 * 48.0 * 3600.0).abs() < 1e-6);
+        assert_eq!(config.workload.object_size_bytes, 5 * 1024 * 1024);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_minutes(Some(12.34)), "12.3");
+        assert_eq!(fmt_minutes(None), "n/a");
+        assert_eq!(fmt_ratio(Some(1.234)), "1.23");
+        assert_eq!(fmt_ratio(None), "n/a");
+    }
+}

@@ -1,0 +1,376 @@
+//! A classic Bloom filter with double hashing.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+use serde::{Deserialize, Serialize};
+
+/// Sizing parameters of a [`BloomFilter`].
+///
+/// # Example
+///
+/// ```
+/// use bloom::BloomParams;
+///
+/// // Space for ~100 items at a ~1% false positive rate.
+/// let params = BloomParams::optimal(100, 0.01);
+/// assert!(params.bits >= 900);
+/// assert!(params.hashes >= 6 && params.hashes <= 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BloomParams {
+    /// Number of bits in the filter.
+    pub bits: usize,
+    /// Number of hash functions.
+    pub hashes: u32,
+}
+
+impl BloomParams {
+    /// Computes the standard optimal parameters for `expected_items` insertions
+    /// at target false-positive probability `fpp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_items` is zero or `fpp` is not in `(0, 1)`.
+    #[must_use]
+    pub fn optimal(expected_items: usize, fpp: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be positive");
+        assert!(
+            fpp > 0.0 && fpp < 1.0,
+            "false positive probability must be in (0, 1), got {fpp}"
+        );
+        let n = expected_items as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let bits = (-(n * fpp.ln()) / (ln2 * ln2)).ceil().max(8.0) as usize;
+        let hashes = ((bits as f64 / n) * ln2).round().max(1.0) as u32;
+        BloomParams { bits, hashes }
+    }
+}
+
+impl Default for BloomParams {
+    /// Parameters suitable for summarising a typical incoming-request queue
+    /// (up to ~256 peers at ~1% false positives).
+    fn default() -> Self {
+        BloomParams::optimal(256, 0.01)
+    }
+}
+
+/// A Bloom filter over items of type `T`.
+///
+/// The filter never yields false negatives: if an item was inserted,
+/// [`BloomFilter::contains`] returns `true`.  It may yield false positives
+/// with a probability controlled by [`BloomParams`].
+///
+/// # Example
+///
+/// ```
+/// use bloom::{BloomFilter, BloomParams};
+///
+/// let mut f = BloomFilter::new(BloomParams::optimal(10, 0.01));
+/// f.insert(&"alice");
+/// assert!(f.contains(&"alice"));
+/// assert_eq!(f.inserted(), 1);
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct BloomFilter<T: ?Sized = [u8]> {
+    params: BloomParams,
+    words: Vec<u64>,
+    inserted: usize,
+    #[serde(skip)]
+    _marker: PhantomData<fn(&T)>,
+}
+
+// Manual impls: the filter never stores a `T`, so it is clonable and
+// comparable regardless of what `T` implements.
+impl<T: ?Sized> Clone for BloomFilter<T> {
+    fn clone(&self) -> Self {
+        BloomFilter {
+            params: self.params,
+            words: self.words.clone(),
+            inserted: self.inserted,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> PartialEq for BloomFilter<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.words == other.words && self.inserted == other.inserted
+    }
+}
+
+impl<T: ?Sized> Eq for BloomFilter<T> {}
+
+impl<T: Hash + ?Sized> BloomFilter<T> {
+    /// Creates an empty filter with the given parameters.
+    #[must_use]
+    pub fn new(params: BloomParams) -> Self {
+        let words = params.bits.div_ceil(64);
+        BloomFilter {
+            params,
+            words: vec![0; words.max(1)],
+            inserted: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a filter sized for `expected_items` at false-positive rate `fpp`
+    /// and inserts every item of the iterator.
+    pub fn from_items<'a, I>(items: I, fpp: f64) -> Self
+    where
+        I: IntoIterator<Item = &'a T>,
+        T: 'a,
+    {
+        let items: Vec<&T> = items.into_iter().collect();
+        let mut filter = BloomFilter::new(BloomParams::optimal(items.len().max(1), fpp));
+        for item in items {
+            filter.insert(item);
+        }
+        filter
+    }
+
+    /// The sizing parameters of this filter.
+    #[must_use]
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of items inserted so far (not deduplicated).
+    #[must_use]
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Whether no item has been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Inserts `item` into the filter.
+    pub fn insert(&mut self, item: &T) {
+        let (h1, h2) = self.hash_pair(item);
+        for k in 0..self.params.hashes {
+            let bit = self.bit_index(h1, h2, k);
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests whether `item` may have been inserted.
+    ///
+    /// `false` means definitely not present; `true` means present with high
+    /// probability (false positives possible).
+    #[must_use]
+    pub fn contains(&self, item: &T) -> bool {
+        let (h1, h2) = self.hash_pair(item);
+        (0..self.params.hashes).all(|k| {
+            let bit = self.bit_index(h1, h2, k);
+            self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Merges another filter into this one (bitwise OR).
+    ///
+    /// After the union, every item present in either filter is reported as
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different parameters.
+    pub fn union_with(&mut self, other: &BloomFilter<T>) {
+        assert_eq!(
+            self.params, other.params,
+            "cannot union Bloom filters with different parameters"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.inserted += other.inserted;
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Fraction of bits set; a load indicator (1.0 = saturated).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.params.bits as f64
+    }
+
+    /// Estimated probability that a lookup for an item that was never inserted
+    /// returns `true`, given the current fill level.
+    #[must_use]
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.params.hashes as i32)
+    }
+
+    /// Size of the bit array in bytes (the wire cost of shipping the filter).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn hash_pair(&self, item: &T) -> (u64, u64) {
+        let mut h1 = DefaultHasher::new();
+        item.hash(&mut h1);
+        let h1 = h1.finish();
+        let mut h2 = DefaultHasher::new();
+        // Decorrelate the second hash by salting with a constant.
+        0xdead_beef_cafe_f00du64.hash(&mut h2);
+        item.hash(&mut h2);
+        let h2 = h2.finish() | 1; // ensure odd so strides cover the table
+        (h1, h2)
+    }
+
+    fn bit_index(&self, h1: u64, h2: u64, k: u32) -> usize {
+        let combined = h1.wrapping_add(h2.wrapping_mul(u64::from(k)));
+        (combined % self.params.bits as u64) as usize
+    }
+}
+
+impl<T: Hash + ?Sized> Default for BloomFilter<T> {
+    fn default() -> Self {
+        BloomFilter::new(BloomParams::default())
+    }
+}
+
+impl<'a, T: Hash + 'a + ?Sized> Extend<&'a T> for BloomFilter<T> {
+    fn extend<I: IntoIterator<Item = &'a T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_on_small_set() {
+        let mut f: BloomFilter<u32> = BloomFilter::new(BloomParams::optimal(100, 0.01));
+        for i in 0..100u32 {
+            f.insert(&i);
+        }
+        for i in 0..100u32 {
+            assert!(f.contains(&i), "inserted item {i} must be found");
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_claimed() {
+        let f: BloomFilter<u32> = BloomFilter::default();
+        assert!(f.is_empty());
+        assert!(!f.contains(&42));
+        assert_eq!(f.estimated_fpp(), 0.0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f: BloomFilter<u64> = BloomFilter::new(BloomParams::optimal(500, 0.01));
+        for i in 0..500u64 {
+            f.insert(&i);
+        }
+        let false_positives = (10_000u64..20_000).filter(|i| f.contains(i)).count();
+        let rate = false_positives as f64 / 10_000.0;
+        assert!(rate < 0.05, "observed fp rate {rate} too high for 1% target");
+    }
+
+    #[test]
+    fn union_reports_items_from_both() {
+        let params = BloomParams::optimal(64, 0.01);
+        let mut a: BloomFilter<u32> = BloomFilter::new(params);
+        let mut b: BloomFilter<u32> = BloomFilter::new(params);
+        a.insert(&1);
+        b.insert(&2);
+        a.union_with(&b);
+        assert!(a.contains(&1));
+        assert!(a.contains(&2));
+        assert_eq!(a.inserted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn union_with_mismatched_params_panics() {
+        let mut a: BloomFilter<u32> = BloomFilter::new(BloomParams::optimal(10, 0.01));
+        let b: BloomFilter<u32> = BloomFilter::new(BloomParams::optimal(1_000, 0.01));
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f: BloomFilter<u32> = BloomFilter::default();
+        f.insert(&7);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(&7));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn optimal_params_scale_with_items_and_fpp() {
+        let loose = BloomParams::optimal(100, 0.1);
+        let tight = BloomParams::optimal(100, 0.001);
+        assert!(tight.bits > loose.bits);
+        assert!(tight.hashes >= loose.hashes);
+        let big = BloomParams::optimal(10_000, 0.01);
+        assert!(big.bits > BloomParams::optimal(100, 0.01).bits);
+    }
+
+    #[test]
+    fn from_items_collects_everything() {
+        let items: Vec<String> = (0..50).map(|i| format!("peer-{i}")).collect();
+        let f = BloomFilter::from_items(items.iter().map(String::as_str), 0.01);
+        for item in &items {
+            assert!(f.contains(item.as_str()));
+        }
+    }
+
+    #[test]
+    fn byte_size_matches_bits() {
+        let f: BloomFilter<u32> = BloomFilter::new(BloomParams { bits: 128, hashes: 3 });
+        assert_eq!(f.byte_size(), 16);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn never_false_negative(items in proptest::collection::hash_set(0u64..1_000_000, 1..200)) {
+                let mut f: BloomFilter<u64> = BloomFilter::new(BloomParams::optimal(items.len(), 0.01));
+                for item in &items {
+                    f.insert(item);
+                }
+                for item in &items {
+                    prop_assert!(f.contains(item));
+                }
+            }
+
+            #[test]
+            fn union_is_superset(
+                xs in proptest::collection::vec(0u64..10_000, 0..50),
+                ys in proptest::collection::vec(0u64..10_000, 0..50),
+            ) {
+                let params = BloomParams::optimal(128, 0.01);
+                let mut a: BloomFilter<u64> = BloomFilter::new(params);
+                let mut b: BloomFilter<u64> = BloomFilter::new(params);
+                for x in &xs { a.insert(x); }
+                for y in &ys { b.insert(y); }
+                let mut u = a.clone();
+                u.union_with(&b);
+                for item in xs.iter().chain(ys.iter()) {
+                    prop_assert!(u.contains(item));
+                }
+            }
+        }
+    }
+}

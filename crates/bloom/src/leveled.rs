@@ -1,0 +1,299 @@
+//! Per-level Bloom summaries of a request tree.
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BloomFilter, BloomParams};
+
+/// A stack of Bloom filters, one per request-tree level.
+///
+/// Level 0 summarises the peers that issued requests directly to the owner of
+/// the summary (the owner's incoming-request queue); level 1 summarises the
+/// peers one hop further away, and so on.  Following the paper's footnote,
+/// a distinct filter per level lets a peer:
+///
+/// * *shift* the summary by one level when re-rooting the tree for an
+///   outgoing request (its own requesters become the requesters of the peer it
+///   is asking), and
+/// * bound the depth of the ring search without shipping the tree structure.
+///
+/// # Example
+///
+/// ```
+/// use bloom::LeveledSummary;
+///
+/// let mut summary: LeveledSummary<u32> = LeveledSummary::new(5);
+/// summary.insert(0, &7);   // peer 7 requested directly from us
+/// summary.insert(1, &9);   // peer 9 requested from peer 7
+///
+/// assert!(summary.contains(&7));
+/// assert_eq!(summary.depth_of(&9), Some(1));
+///
+/// // Re-root for an outgoing request: everything moves one level deeper.
+/// let shifted = summary.shifted();
+/// assert_eq!(shifted.depth_of(&7), Some(1));
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct LeveledSummary<T: Hash> {
+    levels: Vec<BloomFilter<T>>,
+    params: BloomParams,
+    max_levels: usize,
+}
+
+// Manual Clone/PartialEq: the summary never stores a `T`, so no bounds on `T`
+// beyond `Hash` are needed.
+impl<T: Hash> Clone for LeveledSummary<T> {
+    fn clone(&self) -> Self {
+        LeveledSummary {
+            levels: self.levels.clone(),
+            params: self.params,
+            max_levels: self.max_levels,
+        }
+    }
+}
+
+impl<T: Hash> PartialEq for LeveledSummary<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.levels == other.levels
+            && self.params == other.params
+            && self.max_levels == other.max_levels
+    }
+}
+
+impl<T: Hash> Eq for LeveledSummary<T> {}
+
+impl<T: Hash> LeveledSummary<T> {
+    /// Creates an empty summary bounded to `max_levels` levels with default
+    /// filter sizing.
+    #[must_use]
+    pub fn new(max_levels: usize) -> Self {
+        Self::with_params(max_levels, BloomParams::default())
+    }
+
+    /// Creates an empty summary with explicit per-level filter parameters.
+    #[must_use]
+    pub fn with_params(max_levels: usize, params: BloomParams) -> Self {
+        LeveledSummary {
+            levels: Vec::new(),
+            params,
+            max_levels: max_levels.max(1),
+        }
+    }
+
+    /// Maximum number of levels this summary can carry.
+    #[must_use]
+    pub fn max_levels(&self) -> usize {
+        self.max_levels
+    }
+
+    /// Number of levels currently populated.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether no peer has been recorded at any level.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(BloomFilter::is_empty)
+    }
+
+    /// Records `item` (a peer identifier) at tree depth `level`.
+    ///
+    /// Inserts beyond [`LeveledSummary::max_levels`] are silently dropped:
+    /// they correspond to peers too far away to join a bounded-size ring.
+    pub fn insert(&mut self, level: usize, item: &T) {
+        if level >= self.max_levels {
+            return;
+        }
+        while self.levels.len() <= level {
+            self.levels.push(BloomFilter::new(self.params));
+        }
+        self.levels[level].insert(item);
+    }
+
+    /// Whether `item` appears at any level (subject to false positives).
+    #[must_use]
+    pub fn contains(&self, item: &T) -> bool {
+        self.levels.iter().any(|f| f.contains(item))
+    }
+
+    /// The shallowest level at which `item` appears, if any.
+    ///
+    /// The level corresponds to the number of intermediate peers in the
+    /// exchange ring: a hit at level 0 is a pairwise exchange, level 1 a
+    /// 3-way ring, and so on.
+    #[must_use]
+    pub fn depth_of(&self, item: &T) -> Option<usize> {
+        self.levels.iter().position(|f| f.contains(item))
+    }
+
+    /// Returns a copy with every level pushed one deeper and an empty level 0.
+    ///
+    /// This is the re-rooting operation performed when a peer forwards its own
+    /// request tree as part of an outgoing request.  Levels that would exceed
+    /// [`LeveledSummary::max_levels`] are discarded.
+    #[must_use]
+    pub fn shifted(&self) -> Self {
+        let mut levels = Vec::with_capacity((self.levels.len() + 1).min(self.max_levels));
+        levels.push(BloomFilter::new(self.params));
+        for filter in &self.levels {
+            if levels.len() >= self.max_levels {
+                break;
+            }
+            levels.push(filter.clone());
+        }
+        LeveledSummary {
+            levels,
+            params: self.params,
+            max_levels: self.max_levels,
+        }
+    }
+
+    /// Merges another summary level-by-level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries were built with different filter parameters.
+    pub fn merge(&mut self, other: &LeveledSummary<T>) {
+        assert_eq!(
+            self.params, other.params,
+            "cannot merge leveled summaries with different Bloom parameters"
+        );
+        for (level, filter) in other.levels.iter().enumerate() {
+            if level >= self.max_levels {
+                break;
+            }
+            while self.levels.len() <= level {
+                self.levels.push(BloomFilter::new(self.params));
+            }
+            self.levels[level].union_with(filter);
+        }
+    }
+
+    /// Total wire size of all level filters in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.levels.iter().map(BloomFilter::byte_size).sum()
+    }
+}
+
+impl<T: Hash> Default for LeveledSummary<T> {
+    fn default() -> Self {
+        LeveledSummary::new(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_by_level() {
+        let mut s: LeveledSummary<u32> = LeveledSummary::new(3);
+        s.insert(0, &1);
+        s.insert(1, &2);
+        s.insert(2, &3);
+        assert_eq!(s.depth_of(&1), Some(0));
+        assert_eq!(s.depth_of(&2), Some(1));
+        assert_eq!(s.depth_of(&3), Some(2));
+        assert_eq!(s.depth_of(&4), None);
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn inserts_beyond_max_levels_are_dropped() {
+        let mut s: LeveledSummary<u32> = LeveledSummary::new(2);
+        s.insert(5, &42);
+        assert!(s.is_empty());
+        assert!(!s.contains(&42));
+    }
+
+    #[test]
+    fn shifted_moves_everything_one_level_deeper() {
+        let mut s: LeveledSummary<u32> = LeveledSummary::new(4);
+        s.insert(0, &10);
+        s.insert(1, &20);
+        let shifted = s.shifted();
+        assert_eq!(shifted.depth_of(&10), Some(1));
+        assert_eq!(shifted.depth_of(&20), Some(2));
+        // Original is untouched.
+        assert_eq!(s.depth_of(&10), Some(0));
+    }
+
+    #[test]
+    fn shifted_discards_deepest_level_at_capacity() {
+        let mut s: LeveledSummary<u32> = LeveledSummary::new(2);
+        s.insert(0, &1);
+        s.insert(1, &2);
+        let shifted = s.shifted();
+        assert_eq!(shifted.depth_of(&1), Some(1));
+        assert!(!shifted.contains(&2), "peer beyond max depth must be dropped");
+    }
+
+    #[test]
+    fn merge_unions_levels() {
+        let mut a: LeveledSummary<u32> = LeveledSummary::new(3);
+        let mut b: LeveledSummary<u32> = LeveledSummary::new(3);
+        a.insert(0, &1);
+        b.insert(0, &2);
+        b.insert(1, &3);
+        a.merge(&b);
+        assert!(a.contains(&1));
+        assert!(a.contains(&2));
+        assert_eq!(a.depth_of(&3), Some(1));
+    }
+
+    #[test]
+    fn byte_size_grows_with_levels() {
+        let mut s: LeveledSummary<u32> = LeveledSummary::new(5);
+        assert_eq!(s.byte_size(), 0);
+        s.insert(0, &1);
+        let one = s.byte_size();
+        s.insert(3, &2);
+        assert!(s.byte_size() > one);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn depth_of_never_reports_shallower_than_inserted(
+                entries in proptest::collection::vec((0usize..5, 0u64..10_000), 0..100)
+            ) {
+                let mut s: LeveledSummary<u64> = LeveledSummary::new(5);
+                for (level, item) in &entries {
+                    s.insert(*level, item);
+                }
+                for (level, item) in &entries {
+                    // No false negatives: item must be found at its level or shallower
+                    // (shallower only via a false positive of another level's filter,
+                    // which is still a valid "found" answer for ring search).
+                    let found = s.depth_of(item);
+                    prop_assert!(found.is_some());
+                    prop_assert!(found.unwrap() <= *level);
+                }
+            }
+
+            #[test]
+            fn shift_preserves_no_false_negatives_within_bound(
+                entries in proptest::collection::vec((0usize..3, 0u64..10_000), 0..50)
+            ) {
+                let mut s: LeveledSummary<u64> = LeveledSummary::new(5);
+                for (level, item) in &entries {
+                    s.insert(*level, item);
+                }
+                let shifted = s.shifted();
+                for (level, item) in &entries {
+                    if level + 1 < 5 {
+                        prop_assert!(shifted.contains(item));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Bloom filters and leveled request-tree summaries.
+//!
+//! Section V of the paper proposes compressing the request tree that peers
+//! piggy-back on their requests: instead of shipping the full tree, a peer
+//! ships one Bloom filter *per tree level* summarising the peers present at
+//! that level.  A provider can then detect that a cycle exists (some peer in
+//! the summarised tree owns an object it wants) without knowing the full ring
+//! membership, and resolve the ring hop-by-hop with next-hop lookups.
+//!
+//! This crate provides:
+//!
+//! * [`BloomFilter`] — a classic Bloom filter over arbitrary hashable items
+//!   with double hashing, unions, and false-positive-rate estimation.
+//! * [`LeveledSummary`] — a stack of Bloom filters, one per request-tree
+//!   level, with the *shift* operation from the paper's footnote (trimming one
+//!   level when the tree is re-rooted for an outgoing request).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod filter;
+mod leveled;
+
+pub use filter::{BloomFilter, BloomParams};
+pub use leveled::LeveledSummary;

@@ -1,0 +1,363 @@
+//! The directed request graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::Key;
+
+/// One outstanding request: `requester` has asked `provider` for `object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Request<P, O> {
+    /// The peer that issued the request.
+    pub requester: P,
+    /// The peer the request was sent to (which stores the object).
+    pub provider: P,
+    /// The requested object.
+    pub object: O,
+}
+
+/// The directed graph **G** of Section III-A.
+///
+/// Vertices are peers; a labelled edge from `R` to `P` with label `o`
+/// represents an outstanding request from `R` to `P` for object `o`.  Any
+/// cycle of length *n* in this graph is a feasible *n*-way exchange.
+///
+/// The graph is indexed both by provider (a provider's incoming edges are its
+/// incoming-request queue) and by requester (a peer's outgoing requests), so
+/// both the ring search and request-queue maintenance are cheap.
+///
+/// # Example
+///
+/// ```
+/// use exchange::RequestGraph;
+///
+/// let mut g: RequestGraph<&str, u32> = RequestGraph::new();
+/// g.add_request("alice", "bob", 7);
+/// assert!(g.has_request("alice", "bob", 7));
+/// assert_eq!(g.incoming("bob").count(), 1);
+/// assert_eq!(g.outgoing("alice").count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestGraph<P: Key, O: Key> {
+    /// provider -> set of (requester, object)
+    incoming: BTreeMap<P, BTreeSet<(P, O)>>,
+    /// requester -> set of (provider, object)
+    outgoing: BTreeMap<P, BTreeSet<(P, O)>>,
+    len: usize,
+}
+
+impl<P: Key, O: Key> RequestGraph<P, O> {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        RequestGraph {
+            incoming: BTreeMap::new(),
+            outgoing: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of outstanding requests (edges).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph has no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers a request from `requester` to `provider` for `object`.
+    ///
+    /// Returns `true` if the request was new, `false` if an identical request
+    /// was already registered (the paper allows only one registered request
+    /// per (requester, provider, object) triple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester == provider`: a peer never requests from itself.
+    pub fn add_request(&mut self, requester: P, provider: P, object: O) -> bool {
+        assert!(
+            requester != provider,
+            "a peer cannot request an object from itself ({requester:?})"
+        );
+        let inserted = self
+            .incoming
+            .entry(provider)
+            .or_default()
+            .insert((requester, object));
+        if inserted {
+            self.outgoing
+                .entry(requester)
+                .or_default()
+                .insert((provider, object));
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes a specific request; returns `true` if it existed.
+    pub fn remove_request(&mut self, requester: P, provider: P, object: O) -> bool {
+        let removed = self
+            .incoming
+            .get_mut(&provider)
+            .is_some_and(|set| set.remove(&(requester, object)));
+        if removed {
+            if let Some(out) = self.outgoing.get_mut(&requester) {
+                out.remove(&(provider, object));
+            }
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Removes every request issued by `requester` for `object`
+    /// (towards any provider).  Returns how many were removed.
+    ///
+    /// Used when a download completes or is abandoned.
+    pub fn remove_object_requests(&mut self, requester: P, object: O) -> usize {
+        let Some(out) = self.outgoing.get_mut(&requester) else {
+            return 0;
+        };
+        let targets: Vec<P> = out
+            .iter()
+            .filter(|(_, o)| *o == object)
+            .map(|(p, _)| *p)
+            .collect();
+        for provider in &targets {
+            out.remove(&(*provider, object));
+            if let Some(inc) = self.incoming.get_mut(provider) {
+                inc.remove(&(requester, object));
+            }
+        }
+        self.len -= targets.len();
+        targets.len()
+    }
+
+    /// Removes every request issued by or directed to `peer` (e.g. the peer
+    /// went offline).  Returns how many requests were removed.
+    pub fn remove_peer(&mut self, peer: P) -> usize {
+        let mut removed = 0;
+        if let Some(incoming) = self.incoming.remove(&peer) {
+            for (requester, object) in incoming {
+                if let Some(out) = self.outgoing.get_mut(&requester) {
+                    out.remove(&(peer, object));
+                }
+                removed += 1;
+            }
+        }
+        if let Some(outgoing) = self.outgoing.remove(&peer) {
+            for (provider, object) in outgoing {
+                if let Some(inc) = self.incoming.get_mut(&provider) {
+                    inc.remove(&(peer, object));
+                }
+                removed += 1;
+            }
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Whether the exact request is registered.
+    #[must_use]
+    pub fn has_request(&self, requester: P, provider: P, object: O) -> bool {
+        self.incoming
+            .get(&provider)
+            .is_some_and(|set| set.contains(&(requester, object)))
+    }
+
+    /// The incoming-request queue of `provider`: `(requester, object)` pairs.
+    pub fn incoming(&self, provider: P) -> impl Iterator<Item = Request<P, O>> + '_ {
+        self.incoming
+            .get(&provider)
+            .into_iter()
+            .flat_map(move |set| {
+                set.iter().map(move |(requester, object)| Request {
+                    requester: *requester,
+                    provider,
+                    object: *object,
+                })
+            })
+    }
+
+    /// Number of requests queued at `provider`.
+    #[must_use]
+    pub fn incoming_len(&self, provider: P) -> usize {
+        self.incoming.get(&provider).map_or(0, BTreeSet::len)
+    }
+
+    /// The outgoing requests of `requester`: `(provider, object)` pairs.
+    pub fn outgoing(&self, requester: P) -> impl Iterator<Item = Request<P, O>> + '_ {
+        self.outgoing
+            .get(&requester)
+            .into_iter()
+            .flat_map(move |set| {
+                set.iter().map(move |(provider, object)| Request {
+                    requester,
+                    provider: *provider,
+                    object: *object,
+                })
+            })
+    }
+
+    /// All requests in the graph, in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = Request<P, O>> + '_ {
+        self.incoming.iter().flat_map(|(provider, set)| {
+            set.iter().map(move |(requester, object)| Request {
+                requester: *requester,
+                provider: *provider,
+                object: *object,
+            })
+        })
+    }
+
+    /// The distinct peers that appear as requester or provider of any edge.
+    #[must_use]
+    pub fn peers(&self) -> BTreeSet<P> {
+        let mut peers = BTreeSet::new();
+        for (provider, set) in &self.incoming {
+            if !set.is_empty() {
+                peers.insert(*provider);
+            }
+            for (requester, _) in set {
+                peers.insert(*requester);
+            }
+        }
+        peers
+    }
+}
+
+impl<P: Key, O: Key> Default for RequestGraph<P, O> {
+    fn default() -> Self {
+        RequestGraph::new()
+    }
+}
+
+impl<P: Key, O: Key> FromIterator<(P, P, O)> for RequestGraph<P, O> {
+    fn from_iter<T: IntoIterator<Item = (P, P, O)>>(iter: T) -> Self {
+        let mut graph = RequestGraph::new();
+        for (requester, provider, object) in iter {
+            graph.add_request(requester, provider, object);
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_requests() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        assert!(g.add_request(1, 2, 100));
+        assert!(!g.add_request(1, 2, 100), "duplicate registration is a no-op");
+        assert!(g.add_request(1, 2, 101));
+        assert_eq!(g.len(), 2);
+        assert!(g.has_request(1, 2, 100));
+        assert!(!g.has_request(2, 1, 100));
+        assert_eq!(g.incoming_len(2), 2);
+        assert_eq!(g.incoming(2).count(), 2);
+        assert_eq!(g.outgoing(1).count(), 2);
+        assert_eq!(g.outgoing(2).count(), 0);
+    }
+
+    #[test]
+    fn remove_request() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100);
+        assert!(g.remove_request(1, 2, 100));
+        assert!(!g.remove_request(1, 2, 100));
+        assert!(g.is_empty());
+        assert_eq!(g.outgoing(1).count(), 0);
+    }
+
+    #[test]
+    fn remove_object_requests_clears_all_providers() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100);
+        g.add_request(1, 3, 100);
+        g.add_request(1, 3, 200);
+        assert_eq!(g.remove_object_requests(1, 100), 2);
+        assert_eq!(g.len(), 1);
+        assert!(g.has_request(1, 3, 200));
+        assert_eq!(g.remove_object_requests(9, 1), 0);
+    }
+
+    #[test]
+    fn remove_peer_clears_both_directions() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100); // 1 -> 2
+        g.add_request(2, 3, 200); // 2 -> 3
+        g.add_request(3, 1, 300); // 3 -> 1
+        assert_eq!(g.remove_peer(2), 2);
+        assert_eq!(g.len(), 1);
+        assert!(g.has_request(3, 1, 300));
+        assert!(!g.has_request(1, 2, 100));
+        assert!(!g.has_request(2, 3, 200));
+    }
+
+    #[test]
+    fn peers_lists_all_endpoints() {
+        let g: RequestGraph<u32, u32> = [(1, 2, 10), (3, 2, 11)].into_iter().collect();
+        let peers = g.peers();
+        assert_eq!(peers, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let g: RequestGraph<u32, u32> = [(3, 1, 5), (2, 1, 4), (1, 2, 3)].into_iter().collect();
+        let all: Vec<(u32, u32, u32)> = g.iter().map(|r| (r.requester, r.provider, r.object)).collect();
+        assert_eq!(all, vec![(2, 1, 4), (3, 1, 5), (1, 2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "request an object from itself")]
+    fn self_request_panics() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 1, 5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+            proptest::collection::vec((0u8..10, 0u8..10, 0u8..20), 0..60).prop_map(|edges| {
+                edges
+                    .into_iter()
+                    .filter(|(r, p, _)| r != p)
+                    .collect::<Vec<_>>()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn len_matches_iteration(edges in arb_edges()) {
+                let g: RequestGraph<u8, u8> = edges.iter().copied().collect();
+                prop_assert_eq!(g.len(), g.iter().count());
+            }
+
+            #[test]
+            fn incoming_and_outgoing_are_consistent(edges in arb_edges()) {
+                let g: RequestGraph<u8, u8> = edges.iter().copied().collect();
+                for req in g.iter() {
+                    prop_assert!(g.incoming(req.provider).any(|r| r == req));
+                    prop_assert!(g.outgoing(req.requester).any(|r| r == req));
+                }
+            }
+
+            #[test]
+            fn removing_everything_leaves_empty_graph(edges in arb_edges()) {
+                let mut g: RequestGraph<u8, u8> = edges.iter().copied().collect();
+                let all: Vec<Request<u8, u8>> = g.iter().collect();
+                for req in all {
+                    g.remove_request(req.requester, req.provider, req.object);
+                }
+                prop_assert!(g.is_empty());
+                prop_assert_eq!(g.iter().count(), 0);
+            }
+        }
+    }
+}

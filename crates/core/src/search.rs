@@ -1,0 +1,457 @@
+//! Ring search: discovering feasible n-way exchanges through a provider.
+
+use crate::{ExchangeRing, Key, RequestGraph, RingEdge, RingPreference, SearchPolicy};
+
+/// A configurable ring search.
+///
+/// The search walks the provider's request tree (simple paths through the
+/// request graph following *incoming* request edges) up to the policy's depth
+/// bound, and reports every ring in which the last peer on the path can
+/// provide an object the provider currently wants.  Results are ordered by
+/// the policy's ring-size preference, then by discovery order, so the caller
+/// can simply try candidates front to back.
+///
+/// A global expansion budget bounds the work on pathological request graphs
+/// (very popular providers with huge incoming-request queues).
+///
+/// # Example
+///
+/// ```
+/// use exchange::{RequestGraph, RingSearch, SearchPolicy, RingPreference};
+///
+/// let graph: RequestGraph<u32, u32> = [(1, 0, 10), (0, 1, 11)].into_iter().collect();
+/// let search = RingSearch::new(SearchPolicy::new(5, RingPreference::ShorterFirst));
+/// // Peer 0 wants object 11 and knows peer 1 has it (it already asked peer 1).
+/// let rings = search.find(&graph, 0, &[11], |p, o| *p == 1 && *o == 11);
+/// assert_eq!(rings.len(), 1);
+/// assert!(rings[0].is_pairwise());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingSearch {
+    policy: SearchPolicy,
+    expansion_budget: usize,
+    fanout: usize,
+}
+
+impl RingSearch {
+    /// Creates a search with the default expansion budget and unbounded
+    /// per-node fanout.
+    #[must_use]
+    pub fn new(policy: SearchPolicy) -> Self {
+        RingSearch {
+            policy,
+            expansion_budget: 50_000,
+            fanout: usize::MAX,
+        }
+    }
+
+    /// Overrides the maximum number of path expansions performed per search.
+    #[must_use]
+    pub fn with_expansion_budget(mut self, budget: usize) -> Self {
+        self.expansion_budget = budget.max(1);
+        self
+    }
+
+    /// Bounds how many incoming-request entries are explored per node
+    /// *below the first level*.
+    ///
+    /// The provider always scans its own incoming-request queue in full (the
+    /// paper's pairwise detection examines every pending request), but the
+    /// piggy-backed request trees of deeper levels are pruned: real peers
+    /// would not ship arbitrarily wide trees, and bounding the fanout keeps
+    /// the search cost predictable at the price of possibly missing some
+    /// long rings.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout.max(1);
+        self
+    }
+
+    /// The policy this search uses.
+    #[must_use]
+    pub fn policy(&self) -> SearchPolicy {
+        self.policy
+    }
+
+    /// Finds feasible rings through `root`.
+    ///
+    /// * `wants` — the objects `root` currently wants to download.
+    /// * `provides` — oracle telling whether a given peer can serve a given
+    ///   object (in the simulator: the peer stores the object, shares, and
+    ///   `root` learned about it during lookup).
+    ///
+    /// The returned rings all contain `root`; each ring's edge list starts
+    /// with the edge on which `root` uploads.
+    pub fn find<P: Key, O: Key, F>(
+        &self,
+        graph: &RequestGraph<P, O>,
+        root: P,
+        wants: &[O],
+        provides: F,
+    ) -> Vec<ExchangeRing<P, O>>
+    where
+        F: Fn(&P, &O) -> bool,
+    {
+        let mut found: Vec<(usize, ExchangeRing<P, O>)> = Vec::new();
+        if wants.is_empty() {
+            return Vec::new();
+        }
+        let mut budget = self.expansion_budget;
+        // Breadth-first enumeration of simple paths root <- r1 <- r2 ...
+        // following incoming request edges.  Breadth-first order guarantees
+        // that when the expansion budget runs out, the shallow (short-ring)
+        // candidates have already been covered.
+        let mut queue: std::collections::VecDeque<Vec<(P, O)>> = graph
+            .incoming(root)
+            .map(|req| vec![(req.requester, req.object)])
+            .collect();
+
+        while let Some(path) = queue.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let (last_peer, _) = *path.last().expect("paths are non-empty");
+
+            // Can the last peer on the path close a ring by serving something
+            // the root wants?
+            for object in wants {
+                if provides(&last_peer, object) {
+                    let ring = Self::ring_from_path(root, &path, *object);
+                    if let Ok(ring) = ring {
+                        if !found.iter().any(|(_, r)| *r == ring) {
+                            found.push((path.len() + 1, ring));
+                        }
+                    }
+                }
+            }
+
+            // Extend the path.
+            if path.len() < self.policy.max_depth() {
+                for req in graph.incoming(last_peer).take(self.fanout) {
+                    let peer = req.requester;
+                    if peer == root || path.iter().any(|(p, _)| *p == peer) {
+                        continue;
+                    }
+                    let mut extended = path.clone();
+                    extended.push((peer, req.object));
+                    queue.push_back(extended);
+                }
+            }
+        }
+
+        match self.policy.preference() {
+            RingPreference::ShorterFirst => found.sort_by_key(|(size, _)| *size),
+            RingPreference::LongerFirst => found.sort_by_key(|(size, _)| usize::MAX - *size),
+        }
+        found.into_iter().map(|(_, ring)| ring).collect()
+    }
+
+    /// Builds the ring implied by a request-tree path plus the closing edge on
+    /// which the deepest peer serves `closing_object` to the root.
+    fn ring_from_path<P: Key, O: Key>(
+        root: P,
+        path: &[(P, O)],
+        closing_object: O,
+    ) -> Result<ExchangeRing<P, O>, crate::RingError> {
+        let mut edges = Vec::with_capacity(path.len() + 1);
+        // Root serves its direct requester.
+        edges.push(RingEdge {
+            uploader: root,
+            downloader: path[0].0,
+            object: path[0].1,
+        });
+        // Each peer on the path serves the next one.
+        for window in path.windows(2) {
+            edges.push(RingEdge {
+                uploader: window[0].0,
+                downloader: window[1].0,
+                object: window[1].1,
+            });
+        }
+        // The deepest peer closes the ring by serving the root.
+        edges.push(RingEdge {
+            uploader: path.last().expect("non-empty path").0,
+            downloader: root,
+            object: closing_object,
+        });
+        ExchangeRing::new(edges)
+    }
+}
+
+/// Convenience wrapper around [`RingSearch::find`] with the default budget.
+pub fn find_rings<P: Key, O: Key, F>(
+    graph: &RequestGraph<P, O>,
+    root: P,
+    wants: &[O],
+    provides: F,
+    policy: SearchPolicy,
+) -> Vec<ExchangeRing<P, O>>
+where
+    F: Fn(&P, &O) -> bool,
+{
+    RingSearch::new(policy).find(graph, root, wants, provides)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Ownership oracle backed by a map peer -> owned objects.
+    fn owns(map: &HashMap<u32, Vec<u32>>) -> impl Fn(&u32, &u32) -> bool + '_ {
+        |peer, object| map.get(peer).is_some_and(|objs| objs.contains(object))
+    }
+
+    fn shorter_first(max: usize) -> SearchPolicy {
+        SearchPolicy::new(max, RingPreference::ShorterFirst)
+    }
+
+    fn longer_first(max: usize) -> SearchPolicy {
+        SearchPolicy::new(max, RingPreference::LongerFirst)
+    }
+
+    #[test]
+    fn no_wants_means_no_rings() {
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10)].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[], |_, _| true, shorter_first(5));
+        assert!(rings.is_empty());
+    }
+
+    #[test]
+    fn pairwise_exchange_is_found() {
+        // Peer 1 asked 0 for object 10; peer 0 wants object 99 which peer 1 owns.
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
+        assert_eq!(rings.len(), 1);
+        let ring = &rings[0];
+        assert!(ring.is_pairwise());
+        assert_eq!(ring.upload_of(&0).unwrap().object, 10);
+        assert_eq!(ring.upload_of(&1).unwrap().object, 99);
+    }
+
+    #[test]
+    fn three_way_ring_is_found_via_request_tree() {
+        // 1 asked 0 for o10; 2 asked 1 for o20; 0 wants o30 owned by 2.
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(2, vec![30])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[30], owns(&ownership), shorter_first(5));
+        assert_eq!(rings.len(), 1);
+        let ring = &rings[0];
+        assert_eq!(ring.len(), 3);
+        // 0 serves 1 with o10, 1 serves 2 with o20, 2 serves 0 with o30.
+        assert_eq!(ring.upload_of(&0).unwrap().downloader, 1);
+        assert_eq!(ring.upload_of(&1).unwrap().object, 20);
+        assert_eq!(ring.upload_of(&2).unwrap().downloader, 0);
+    }
+
+    #[test]
+    fn max_ring_bound_excludes_long_cycles() {
+        // Chain 1->0, 2->1, 3->2, 4->3; only peer 4 owns what 0 wants.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(4, vec![99])].into_iter().collect();
+        // A ring through peer 4 needs 5 peers; bounding at 4 finds nothing.
+        assert!(find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(4)).is_empty());
+        // Raising the bound to 5 finds it.
+        let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
+        assert_eq!(rings.len(), 1);
+        assert_eq!(rings[0].len(), 5);
+    }
+
+    #[test]
+    fn preference_orders_candidates() {
+        // Two feasible rings: pairwise via peer 1, 3-way via peer 2.
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99]), (2, vec![99])].into_iter().collect();
+
+        let shorter = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
+        assert_eq!(shorter.len(), 2);
+        assert_eq!(shorter[0].len(), 2);
+        assert_eq!(shorter[1].len(), 3);
+
+        let longer = find_rings(&graph, 0, &[99], owns(&ownership), longer_first(5));
+        assert_eq!(longer[0].len(), 3);
+        assert_eq!(longer[1].len(), 2);
+    }
+
+    #[test]
+    fn multiple_wanted_objects_yield_multiple_rings() {
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![98, 99])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[98, 99], owns(&ownership), shorter_first(5));
+        assert_eq!(rings.len(), 2);
+        assert!(rings.iter().all(ExchangeRing::is_pairwise));
+    }
+
+    #[test]
+    fn branching_tree_explores_all_branches() {
+        // Root 0 has two IRQ entries (1 and 2); each has its own requester.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(3, vec![99]), (4, vec![99])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
+        assert_eq!(rings.len(), 2);
+        assert!(rings.iter().all(|r| r.len() == 3));
+        let closers: Vec<u32> = rings.iter().map(|r| r.download_of(&0).unwrap().uploader).collect();
+        assert!(closers.contains(&3) && closers.contains(&4));
+    }
+
+    #[test]
+    fn cycles_in_the_graph_do_not_loop_the_search() {
+        // 1 <-> 2 request from each other, and 1 requests from 0.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 1, 20), (1, 2, 21)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(2, vec![99])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(6));
+        assert_eq!(rings.len(), 1);
+        assert_eq!(rings[0].len(), 3);
+    }
+
+    #[test]
+    fn root_must_not_appear_twice() {
+        // 0 itself requested from 1; the search must not route through 0 again.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (0, 1, 11), (2, 0, 12)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![11]), (2, vec![11])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[11], owns(&ownership), shorter_first(5));
+        for ring in &rings {
+            let members = ring.members();
+            let zero_count = members.iter().filter(|p| **p == 0).count();
+            assert_eq!(zero_count, 1);
+        }
+    }
+
+    #[test]
+    fn expansion_budget_bounds_work() {
+        // A star of many requesters; a tiny budget still terminates quickly
+        // and returns at most what it could explore.
+        let mut graph: RequestGraph<u32, u32> = RequestGraph::new();
+        for i in 1..=100 {
+            graph.add_request(i, 0, i);
+        }
+        let ownership: HashMap<u32, Vec<u32>> = (1..=100).map(|i| (i, vec![999])).collect();
+        let search = RingSearch::new(shorter_first(2)).with_expansion_budget(10);
+        let rings = search.find(&graph, 0, &[999], owns(&ownership));
+        assert!(rings.len() <= 10);
+        assert!(!rings.is_empty());
+    }
+
+    #[test]
+    fn fanout_limits_deeper_levels_but_not_the_irq_scan() {
+        // The provider's own IRQ (level 1) is always scanned in full, so all
+        // fifty pairwise rings are found even with a small fanout.
+        let mut graph: RequestGraph<u32, u32> = RequestGraph::new();
+        for i in 1..=50 {
+            graph.add_request(i, 0, i);
+        }
+        let ownership: HashMap<u32, Vec<u32>> = (1..=50).map(|i| (i, vec![999])).collect();
+        let search = RingSearch::new(shorter_first(2)).with_fanout(5);
+        let rings = search.find(&graph, 0, &[999], owns(&ownership));
+        assert_eq!(rings.len(), 50);
+    }
+
+    #[test]
+    fn fanout_limits_children_below_the_first_level() {
+        // One IRQ entry (peer 1) with 20 requesters behind it; only `fanout`
+        // of those second-level peers are explored.
+        let mut graph: RequestGraph<u32, u32> = RequestGraph::new();
+        graph.add_request(1, 0, 500);
+        for i in 2..=21 {
+            graph.add_request(i, 1, i);
+        }
+        let ownership: HashMap<u32, Vec<u32>> = (2..=21).map(|i| (i, vec![999])).collect();
+        let search = RingSearch::new(shorter_first(3)).with_fanout(4);
+        let rings = search.find(&graph, 0, &[999], owns(&ownership));
+        assert_eq!(rings.len(), 4);
+        let all = RingSearch::new(shorter_first(3)).find(&graph, 0, &[999], owns(&ownership));
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn budget_in_bfs_order_still_finds_shallow_rings_first() {
+        // A deep chain plus a shallow pairwise option: even with a tiny
+        // budget, the pairwise ring is found because exploration is BFS.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> =
+            [(1, vec![99]), (4, vec![99])].into_iter().collect();
+        let search = RingSearch::new(shorter_first(5)).with_expansion_budget(2);
+        let rings = search.find(&graph, 0, &[99], owns(&ownership));
+        assert!(!rings.is_empty());
+        assert!(rings[0].is_pairwise());
+    }
+
+    #[test]
+    fn provider_not_in_tree_is_not_a_ring() {
+        // Peer 5 owns the wanted object but has no request path to the root.
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(5, vec![99])].into_iter().collect();
+        let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
+        assert!(rings.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = RequestGraph<u8, u8>> {
+            proptest::collection::vec((0u8..10, 0u8..10, 0u8..20), 0..60).prop_map(|edges| {
+                edges
+                    .into_iter()
+                    .filter(|(r, p, _)| r != p)
+                    .collect::<RequestGraph<u8, u8>>()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn rings_satisfy_structural_invariants(
+                graph in arb_graph(),
+                root in 0u8..10,
+                wants in proptest::collection::vec(0u8..20, 1..4),
+                owned in proptest::collection::hash_map(0u8..10, proptest::collection::vec(0u8..20, 0..4), 0..10),
+                longer in proptest::bool::ANY,
+                max_ring in 2usize..6,
+            ) {
+                let policy = if longer { longer_first(max_ring) } else { shorter_first(max_ring) };
+                let provides = |p: &u8, o: &u8| owned.get(p).is_some_and(|objs| objs.contains(o));
+                let rings = find_rings(&graph, root, &wants, provides, policy);
+                for ring in &rings {
+                    // Bounded size, contains the root, all edges except the
+                    // closing one correspond to existing requests.
+                    prop_assert!(ring.len() >= 2 && ring.len() <= max_ring);
+                    prop_assert!(ring.contains(&root));
+                    let closing = ring.download_of(&root).unwrap();
+                    prop_assert!(provides(&closing.uploader, &closing.object));
+                    prop_assert!(wants.contains(&closing.object));
+                    for edge in ring.edges() {
+                        if edge.downloader != root {
+                            prop_assert!(graph.has_request(edge.downloader, edge.uploader, edge.object));
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn preference_ordering_is_respected(
+                graph in arb_graph(),
+                root in 0u8..10,
+                wants in proptest::collection::vec(0u8..20, 1..4),
+                owned in proptest::collection::hash_map(0u8..10, proptest::collection::vec(0u8..20, 0..4), 0..10),
+            ) {
+                let provides = |p: &u8, o: &u8| owned.get(p).is_some_and(|objs| objs.contains(o));
+                let shorter = find_rings(&graph, root, &wants, &provides, shorter_first(5));
+                let longer = find_rings(&graph, root, &wants, &provides, longer_first(5));
+                prop_assert_eq!(shorter.len(), longer.len());
+                for w in shorter.windows(2) {
+                    prop_assert!(w[0].len() <= w[1].len());
+                }
+                for w in longer.windows(2) {
+                    prop_assert!(w[0].len() >= w[1].len());
+                }
+            }
+        }
+    }
+}

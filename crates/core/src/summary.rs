@@ -1,0 +1,192 @@
+//! Bloom-filter summaries of request trees (the paper's Section V sketch).
+
+use std::hash::Hash;
+
+use bloom::{BloomParams, LeveledSummary};
+
+use crate::{Key, RequestGraph, RequestTree};
+
+/// A space-efficient, probabilistic stand-in for a full [`RequestTree`].
+///
+/// Instead of shipping the whole request tree with every request, a peer can
+/// ship one Bloom filter per tree level.  A provider can then *detect* that a
+/// ring probably exists (a known provider of a wanted object appears in the
+/// summary) and, if so, resolve the actual ring hop-by-hop.  The price is a
+/// small false-positive probability: the detection may claim a ring that the
+/// exact search cannot find.
+///
+/// # Example
+///
+/// ```
+/// use exchange::{BloomRingIndex, RequestGraph};
+///
+/// let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20)].into_iter().collect();
+/// let index = BloomRingIndex::build(&graph, 0, 4);
+/// // Peer 2 sits two levels below the root, so a ring through it has 3 peers.
+/// assert_eq!(index.ring_size_hint(&2), Some(3));
+/// assert_eq!(index.ring_size_hint(&7), None);
+/// assert!(index.byte_size() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomRingIndex<P: Key + Hash> {
+    root: P,
+    summary: LeveledSummary<P>,
+    exact_nodes: usize,
+}
+
+impl<P: Key + Hash> BloomRingIndex<P> {
+    /// Builds the summary for `root` from the request graph, down to
+    /// `max_depth` levels, with default Bloom sizing.
+    #[must_use]
+    pub fn build<O: Key>(graph: &RequestGraph<P, O>, root: P, max_depth: usize) -> Self {
+        Self::build_with_params(graph, root, max_depth, BloomParams::default())
+    }
+
+    /// Builds the summary with explicit per-level Bloom parameters.
+    #[must_use]
+    pub fn build_with_params<O: Key>(
+        graph: &RequestGraph<P, O>,
+        root: P,
+        max_depth: usize,
+        params: BloomParams,
+    ) -> Self {
+        let tree = RequestTree::build(graph, root, max_depth);
+        let mut summary = LeveledSummary::with_params(max_depth, params);
+        for node in tree.nodes() {
+            summary.insert(node.depth - 1, &node.peer);
+        }
+        BloomRingIndex {
+            root,
+            summary,
+            exact_nodes: tree.len(),
+        }
+    }
+
+    /// The provider this summary was built for.
+    #[must_use]
+    pub fn root(&self) -> P {
+        self.root
+    }
+
+    /// Whether `peer` probably appears somewhere in the summarised tree.
+    #[must_use]
+    pub fn may_contain(&self, peer: &P) -> bool {
+        self.summary.contains(peer)
+    }
+
+    /// If `peer` appears in the summary, the size of the smallest ring it
+    /// could close (level 0 → pairwise → 2, level 1 → 3-way, ...).
+    #[must_use]
+    pub fn ring_size_hint(&self, peer: &P) -> Option<usize> {
+        self.summary.depth_of(peer).map(|level| level + 2)
+    }
+
+    /// Checks whether any of `candidate_providers` (peers known to own an
+    /// object the root wants) probably closes a ring, returning the best
+    /// (smallest) hinted ring size.
+    #[must_use]
+    pub fn best_hint<'a, I>(&self, candidate_providers: I) -> Option<(P, usize)>
+    where
+        I: IntoIterator<Item = &'a P>,
+        P: 'a,
+    {
+        candidate_providers
+            .into_iter()
+            .filter_map(|p| self.ring_size_hint(p).map(|size| (*p, size)))
+            .min_by_key(|(_, size)| *size)
+    }
+
+    /// Number of peers in the exact tree this summary replaces.
+    #[must_use]
+    pub fn exact_nodes(&self) -> usize {
+        self.exact_nodes
+    }
+
+    /// Wire size of the summary in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.summary.byte_size()
+    }
+
+    /// Space saving relative to shipping the exact tree with `id_bytes`-sized
+    /// identifiers (values > 1 mean the summary is smaller).
+    #[must_use]
+    pub fn compression_ratio(&self, id_bytes: usize) -> f64 {
+        let exact = (self.exact_nodes * (2 * id_bytes + 4)).max(1);
+        exact as f64 / self.byte_size().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> RequestGraph<u32, u32> {
+        [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn hints_match_exact_tree_depths() {
+        let index = BloomRingIndex::build(&chain(), 0, 5);
+        assert_eq!(index.ring_size_hint(&1), Some(2));
+        assert_eq!(index.ring_size_hint(&2), Some(3));
+        assert_eq!(index.ring_size_hint(&4), Some(5));
+        assert!(index.may_contain(&3));
+        assert_eq!(index.exact_nodes(), 4);
+        assert_eq!(index.root(), 0);
+    }
+
+    #[test]
+    fn depth_bound_is_respected() {
+        let index = BloomRingIndex::build(&chain(), 0, 2);
+        assert_eq!(index.ring_size_hint(&2), Some(3));
+        assert_eq!(index.ring_size_hint(&4), None);
+    }
+
+    #[test]
+    fn best_hint_prefers_smaller_rings() {
+        let index = BloomRingIndex::build(&chain(), 0, 5);
+        let candidates = [4u32, 2u32];
+        let (peer, size) = index.best_hint(candidates.iter()).unwrap();
+        assert_eq!(peer, 2);
+        assert_eq!(size, 3);
+        assert!(index.best_hint([99u32].iter()).is_none());
+    }
+
+    #[test]
+    fn empty_irq_gives_empty_summary() {
+        let graph: RequestGraph<u32, u32> = RequestGraph::new();
+        let index = BloomRingIndex::build(&graph, 0, 5);
+        assert!(!index.may_contain(&1));
+        assert_eq!(index.byte_size(), 0);
+        assert_eq!(index.exact_nodes(), 0);
+    }
+
+    #[test]
+    fn summary_is_much_smaller_than_large_exact_tree() {
+        // A star with many requesters: the exact tree ships hundreds of ids,
+        // the summary ships one Bloom filter.
+        let mut graph: RequestGraph<u32, u32> = RequestGraph::new();
+        for i in 1..=500 {
+            graph.add_request(i, 0, i);
+        }
+        let index = BloomRingIndex::build(&graph, 0, 5);
+        assert!(index.compression_ratio(20) > 1.0);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut graph: RequestGraph<u32, u32> = RequestGraph::new();
+        for i in 1..=50 {
+            graph.add_request(i, 0, i);
+            graph.add_request(i + 100, i, i + 100);
+        }
+        let index = BloomRingIndex::build(&graph, 0, 5);
+        for i in 1..=50 {
+            assert!(index.may_contain(&i));
+            assert!(index.may_contain(&(i + 100)));
+        }
+    }
+}

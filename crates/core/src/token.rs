@@ -1,0 +1,183 @@
+//! Ring-initiation token circulation.
+
+use crate::{ExchangeRing, Key, RingEdge};
+
+/// The outcome of circulating a ring-initiation token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenOutcome<P> {
+    /// Every member confirmed; the ring can be activated.
+    Confirmed,
+    /// A member declined (offline, object gone, no capacity, already busy in
+    /// another ring, ...); the ring must not be activated.
+    Declined {
+        /// The first member that declined.
+        peer: P,
+        /// How many members had already confirmed before the decline.
+        confirmed_before: usize,
+    },
+}
+
+impl<P> TokenOutcome<P> {
+    /// Whether the ring was fully confirmed.
+    #[must_use]
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self, TokenOutcome::Confirmed)
+    }
+}
+
+/// The token a ring initiator circulates before activating an exchange.
+///
+/// The paper notes that a discovered ring may be stale by the time it is
+/// initiated: peers may have gone offline, deleted the object, or committed
+/// their slots to a competing ring discovered at the same time.  The
+/// initiator therefore circulates a token around the proposed ring and only
+/// activates the exchange if **every** member confirms.
+///
+/// The confirmation decision itself lives with the caller (the simulator or a
+/// real implementation); this type captures the ordering and the outcome.
+///
+/// # Example
+///
+/// ```
+/// use exchange::{ExchangeRing, RingEdge, RingToken};
+///
+/// let ring = ExchangeRing::new(vec![
+///     RingEdge { uploader: 1u32, downloader: 2u32, object: 10u32 },
+///     RingEdge { uploader: 2, downloader: 1, object: 20 },
+/// ]).unwrap();
+///
+/// let token = RingToken::new(1);
+/// let outcome = token.circulate(&ring, |peer, _edge| *peer != 99);
+/// assert!(outcome.is_confirmed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingToken<P> {
+    initiator: P,
+}
+
+impl<P: Key> RingToken<P> {
+    /// Creates a token held by `initiator`.
+    #[must_use]
+    pub fn new(initiator: P) -> Self {
+        RingToken { initiator }
+    }
+
+    /// The initiating peer.
+    #[must_use]
+    pub fn initiator(&self) -> P {
+        self.initiator
+    }
+
+    /// Circulates the token around `ring`, starting from the member after the
+    /// initiator, asking each member to `confirm` the upload edge assigned to
+    /// it.  Stops at the first decline.
+    ///
+    /// `confirm(peer, edge)` is called exactly once per member (including the
+    /// initiator, last, so that it re-validates its own upload after everyone
+    /// else agreed).
+    pub fn circulate<O: Key, F>(&self, ring: &ExchangeRing<P, O>, mut confirm: F) -> TokenOutcome<P>
+    where
+        F: FnMut(&P, &RingEdge<P, O>) -> bool,
+    {
+        // Order: members after the initiator in cycle order, initiator last.
+        let members = ring.members();
+        let start = members
+            .iter()
+            .position(|p| *p == self.initiator)
+            .map_or(0, |i| i + 1);
+        let ordered = members[start..].iter().chain(members[..start].iter());
+
+        let mut confirmed = 0usize;
+        for peer in ordered {
+            let edge = ring
+                .upload_of(peer)
+                .expect("every ring member has an upload edge");
+            if !confirm(peer, &edge) {
+                return TokenOutcome::Declined {
+                    peer: *peer,
+                    confirmed_before: confirmed,
+                };
+            }
+            confirmed += 1;
+        }
+        TokenOutcome::Confirmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_way() -> ExchangeRing<u32, u32> {
+        ExchangeRing::new(vec![
+            RingEdge { uploader: 0, downloader: 1, object: 10 },
+            RingEdge { uploader: 1, downloader: 2, object: 20 },
+            RingEdge { uploader: 2, downloader: 0, object: 30 },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn all_confirm() {
+        let token = RingToken::new(0u32);
+        let mut asked = Vec::new();
+        let outcome = token.circulate(&three_way(), |peer, edge| {
+            asked.push((*peer, edge.object));
+            true
+        });
+        assert!(outcome.is_confirmed());
+        // Everyone is asked exactly once; the initiator is asked last.
+        assert_eq!(asked.len(), 3);
+        assert_eq!(asked.last().unwrap().0, 0);
+        let mut peers: Vec<u32> = asked.iter().map(|(p, _)| *p).collect();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn decline_stops_circulation() {
+        let token = RingToken::new(0u32);
+        let mut asked = 0;
+        let outcome = token.circulate(&three_way(), |peer, _| {
+            asked += 1;
+            *peer != 2
+        });
+        match outcome {
+            TokenOutcome::Declined { peer, confirmed_before } => {
+                assert_eq!(peer, 2);
+                assert_eq!(confirmed_before, 1, "peer 1 confirmed before peer 2 declined");
+            }
+            TokenOutcome::Confirmed => panic!("expected a decline"),
+        }
+        assert_eq!(asked, 2, "circulation stops at the first decline");
+    }
+
+    #[test]
+    fn members_are_asked_to_confirm_their_own_upload() {
+        let token = RingToken::new(0u32);
+        token.circulate(&three_way(), |peer, edge| {
+            assert_eq!(edge.uploader, *peer);
+            true
+        });
+    }
+
+    #[test]
+    fn initiator_not_in_ring_still_circulates_everyone() {
+        // Defensive: if the initiator is not a member (should not happen in
+        // practice), everyone is still asked once.
+        let token = RingToken::new(42u32);
+        let mut asked = 0;
+        let outcome = token.circulate(&three_way(), |_, _| {
+            asked += 1;
+            true
+        });
+        assert!(outcome.is_confirmed());
+        assert_eq!(asked, 3);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(TokenOutcome::<u32>::Confirmed.is_confirmed());
+        assert!(!TokenOutcome::Declined { peer: 1u32, confirmed_before: 0 }.is_confirmed());
+    }
+}

@@ -1,0 +1,314 @@
+//! Depth-limited request trees.
+
+use std::collections::VecDeque;
+
+use crate::{Key, RequestGraph};
+
+/// One node of a [`RequestTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeNode<P, O> {
+    /// The peer at this node.
+    pub peer: P,
+    /// The object this peer requested from its parent in the tree.
+    pub object: O,
+    /// Depth below the root (1 = a direct entry of the root's IRQ).
+    pub depth: usize,
+    /// Index of the parent node in the tree's node list, or `None` if the
+    /// parent is the root itself.
+    pub parent: Option<usize>,
+}
+
+/// The request tree a provider assembles from its incoming-request queue.
+///
+/// The root (implicit) is the provider; its children are the peers with
+/// requests in the provider's IRQ, each annotated with the object requested;
+/// their children are the peers in *their* IRQs, and so on, down to a bounded
+/// depth (the paper prunes to depth 5, enough for rings of up to 6 peers).
+///
+/// A peer appears at most once, at its shallowest depth — deeper duplicates
+/// cannot produce a shorter ring and are pruned, which also keeps the tree
+/// small.
+///
+/// # Example
+///
+/// ```
+/// use exchange::{RequestGraph, RequestTree};
+///
+/// let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+/// g.add_request(1, 0, 10); // peer 1 asked the root (0) for object 10
+/// g.add_request(2, 1, 20); // peer 2 asked peer 1 for object 20
+///
+/// let tree = RequestTree::build(&g, 0, 4);
+/// assert_eq!(tree.len(), 2);
+/// assert_eq!(tree.depth_of(&2), Some(2));
+/// let path = tree.path_to(&2).unwrap();
+/// assert_eq!(path.len(), 2);
+/// assert_eq!(path[0].peer, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTree<P: Key, O: Key> {
+    root: P,
+    nodes: Vec<TreeNode<P, O>>,
+    max_depth: usize,
+}
+
+impl<P: Key, O: Key> RequestTree<P, O> {
+    /// Builds the tree rooted at `root` from the global request graph,
+    /// limited to `max_depth` levels below the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is zero — a tree with no levels cannot describe
+    /// any exchange.
+    #[must_use]
+    pub fn build(graph: &RequestGraph<P, O>, root: P, max_depth: usize) -> Self {
+        assert!(max_depth > 0, "a request tree needs at least one level");
+        let mut nodes: Vec<TreeNode<P, O>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let push_children =
+            |nodes: &mut Vec<TreeNode<P, O>>, queue: &mut VecDeque<usize>, parent_peer: P, parent_idx: Option<usize>, depth: usize, root: P| {
+                for req in graph.incoming(parent_peer) {
+                    let peer = req.requester;
+                    if peer == root || nodes.iter().any(|n| n.peer == peer) {
+                        continue;
+                    }
+                    nodes.push(TreeNode {
+                        peer,
+                        object: req.object,
+                        depth,
+                        parent: parent_idx,
+                    });
+                    queue.push_back(nodes.len() - 1);
+                }
+            };
+
+        push_children(&mut nodes, &mut queue, root, None, 1, root);
+        while let Some(idx) = queue.pop_front() {
+            let node = nodes[idx];
+            if node.depth >= max_depth {
+                continue;
+            }
+            push_children(&mut nodes, &mut queue, node.peer, Some(idx), node.depth + 1, root);
+        }
+
+        RequestTree {
+            root,
+            nodes,
+            max_depth,
+        }
+    }
+
+    /// The provider at the (implicit) root of the tree.
+    #[must_use]
+    pub fn root(&self) -> P {
+        self.root
+    }
+
+    /// The depth limit this tree was built with.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of peers in the tree (excluding the root).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (the root's IRQ is empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes in breadth-first order.
+    #[must_use]
+    pub fn nodes(&self) -> &[TreeNode<P, O>] {
+        &self.nodes
+    }
+
+    /// Whether `peer` appears in the tree.
+    #[must_use]
+    pub fn contains(&self, peer: &P) -> bool {
+        self.nodes.iter().any(|n| n.peer == *peer)
+    }
+
+    /// The depth of `peer` in the tree, if present (1 = direct IRQ entry).
+    #[must_use]
+    pub fn depth_of(&self, peer: &P) -> Option<usize> {
+        self.nodes.iter().find(|n| n.peer == *peer).map(|n| n.depth)
+    }
+
+    /// The path from the root's first-level child down to `peer`, if present.
+    ///
+    /// The returned nodes are ordered root-side first; the last element is the
+    /// node for `peer` itself.  Each node's `object` is what that peer
+    /// requested from the previous peer on the path (or from the root for the
+    /// first element) — exactly the transfers that a ring through `peer` would
+    /// satisfy.
+    #[must_use]
+    pub fn path_to(&self, peer: &P) -> Option<Vec<TreeNode<P, O>>> {
+        let mut idx = self.nodes.iter().position(|n| n.peer == *peer)?;
+        let mut path = vec![self.nodes[idx]];
+        while let Some(parent) = self.nodes[idx].parent {
+            path.push(self.nodes[parent]);
+            idx = parent;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// An estimate of the wire size (in bytes) of shipping this tree verbatim,
+    /// assuming `id_bytes` per peer or object identifier.  Used to compare
+    /// against the Bloom-summary representation.
+    #[must_use]
+    pub fn wire_size_bytes(&self, id_bytes: usize) -> usize {
+        // Each node ships a peer id, an object id and a parent reference.
+        self.nodes.len() * (2 * id_bytes + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> RequestGraph<u32, u32> {
+        // 1 -> 0, 2 -> 1, 3 -> 2, 4 -> 3 (a chain of requests towards 0)
+        [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn empty_irq_gives_empty_tree() {
+        let g: RequestGraph<u32, u32> = RequestGraph::new();
+        let tree = RequestTree::build(&g, 0, 4);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.root(), 0);
+        assert!(!tree.contains(&1));
+        assert!(tree.path_to(&1).is_none());
+    }
+
+    #[test]
+    fn chain_is_flattened_with_correct_depths() {
+        let tree = RequestTree::build(&chain_graph(), 0, 4);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.depth_of(&1), Some(1));
+        assert_eq!(tree.depth_of(&2), Some(2));
+        assert_eq!(tree.depth_of(&3), Some(3));
+        assert_eq!(tree.depth_of(&4), Some(4));
+    }
+
+    #[test]
+    fn max_depth_prunes_the_tree() {
+        let tree = RequestTree::build(&chain_graph(), 0, 2);
+        assert_eq!(tree.len(), 2);
+        assert!(tree.contains(&2));
+        assert!(!tree.contains(&3));
+        assert_eq!(tree.max_depth(), 2);
+    }
+
+    #[test]
+    fn path_to_returns_ring_order() {
+        let tree = RequestTree::build(&chain_graph(), 0, 5);
+        let path = tree.path_to(&3).unwrap();
+        let peers: Vec<u32> = path.iter().map(|n| n.peer).collect();
+        let objects: Vec<u32> = path.iter().map(|n| n.object).collect();
+        assert_eq!(peers, vec![1, 2, 3]);
+        assert_eq!(objects, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn peer_appears_once_at_shallowest_depth() {
+        // Peer 2 requests from both 0 (depth 1) and 1 (would be depth 2).
+        let g: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 0, 11), (2, 1, 20)].into_iter().collect();
+        let tree = RequestTree::build(&g, 0, 4);
+        assert_eq!(tree.depth_of(&2), Some(1));
+        assert_eq!(tree.nodes().iter().filter(|n| n.peer == 2).count(), 1);
+    }
+
+    #[test]
+    fn root_is_never_a_tree_node() {
+        // 0 and 1 request from each other.
+        let g: RequestGraph<u32, u32> = [(1, 0, 10), (0, 1, 20)].into_iter().collect();
+        let tree = RequestTree::build(&g, 0, 4);
+        assert!(!tree.contains(&0));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn branching_irq_creates_siblings() {
+        let g: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)].into_iter().collect();
+        let tree = RequestTree::build(&g, 0, 3);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.depth_of(&3), Some(2));
+        assert_eq!(tree.depth_of(&4), Some(2));
+        let path4 = tree.path_to(&4).unwrap();
+        assert_eq!(path4.iter().map(|n| n.peer).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn wire_size_scales_with_nodes() {
+        let tree = RequestTree::build(&chain_graph(), 0, 5);
+        assert_eq!(tree.wire_size_bytes(8), 4 * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_depth_panics() {
+        let _ = RequestTree::build(&chain_graph(), 0, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = RequestGraph<u8, u8>> {
+            proptest::collection::vec((0u8..12, 0u8..12, 0u8..30), 0..80).prop_map(|edges| {
+                edges
+                    .into_iter()
+                    .filter(|(r, p, _)| r != p)
+                    .collect::<RequestGraph<u8, u8>>()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn depths_never_exceed_limit(graph in arb_graph(), root in 0u8..12, depth in 1usize..6) {
+                let tree = RequestTree::build(&graph, root, depth);
+                for node in tree.nodes() {
+                    prop_assert!(node.depth >= 1 && node.depth <= depth);
+                    prop_assert!(node.peer != root);
+                }
+            }
+
+            #[test]
+            fn every_tree_edge_is_a_graph_request(graph in arb_graph(), root in 0u8..12) {
+                let tree = RequestTree::build(&graph, root, 5);
+                for node in tree.nodes() {
+                    let parent_peer = match node.parent {
+                        Some(idx) => tree.nodes()[idx].peer,
+                        None => root,
+                    };
+                    prop_assert!(graph.has_request(node.peer, parent_peer, node.object));
+                }
+            }
+
+            #[test]
+            fn path_depths_are_consecutive(graph in arb_graph(), root in 0u8..12) {
+                let tree = RequestTree::build(&graph, root, 5);
+                for node in tree.nodes() {
+                    let path = tree.path_to(&node.peer).unwrap();
+                    for (i, hop) in path.iter().enumerate() {
+                        prop_assert_eq!(hop.depth, i + 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The eMule-style pairwise credit system.
+
+use std::collections::HashMap;
+
+use exchange::Key;
+
+use crate::{IncentiveMechanism, QueuedRequest};
+
+/// Pairwise upload/download volumes between a provider and one requester.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairVolumes {
+    /// Bytes the requester has uploaded *to the provider*.
+    uploaded_to_me: u64,
+    /// Bytes the provider has uploaded *to the requester*.
+    downloaded_from_me: u64,
+}
+
+/// The eMule credit system (Section II of the paper).
+///
+/// Each provider keeps, per remote peer, how much that peer has uploaded to it
+/// and downloaded from it.  A request's *queue rank* is its waiting time
+/// multiplied by a credit modifier derived from those volumes; the modifier is
+/// clamped to `[1, 10]` as in eMule, so peers without credit can still be
+/// served if they wait long enough — exactly the weakness the paper points
+/// out.
+///
+/// # Example
+///
+/// ```
+/// use credit::{EmuleCredit, IncentiveMechanism, QueuedRequest};
+///
+/// let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+/// credit.record_transfer(5, 0, 10_000_000); // peer 5 uploaded 10 MB to us (peer 0)
+/// assert!(credit.modifier(0, 5) > 1.0);
+/// assert_eq!(credit.modifier(0, 6), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EmuleCredit<P: Key> {
+    volumes: HashMap<(P, P), PairVolumes>,
+}
+
+impl<P: Key> EmuleCredit<P> {
+    /// Creates an empty credit table.
+    #[must_use]
+    pub fn new() -> Self {
+        EmuleCredit {
+            volumes: HashMap::new(),
+        }
+    }
+
+    /// The credit modifier the eMule scoring function applies for requests
+    /// from `requester` at `provider`, clamped to `[1, 10]`.
+    ///
+    /// Following eMule's documented rule, the modifier is the smaller of
+    /// `2 × uploaded / downloaded` and `sqrt(uploaded_MB + 2)`, computed from
+    /// the pair's history; peers that never uploaded anything get 1.
+    #[must_use]
+    pub fn modifier(&self, provider: P, requester: P) -> f64 {
+        let Some(v) = self.volumes.get(&(provider, requester)) else {
+            return 1.0;
+        };
+        if v.uploaded_to_me == 0 {
+            return 1.0;
+        }
+        let uploaded_mb = v.uploaded_to_me as f64 / 1_048_576.0;
+        let ratio = if v.downloaded_from_me == 0 {
+            10.0
+        } else {
+            2.0 * v.uploaded_to_me as f64 / v.downloaded_from_me as f64
+        };
+        let cap = (uploaded_mb + 2.0).sqrt();
+        ratio.min(cap).clamp(1.0, 10.0)
+    }
+
+    /// The recorded volume `requester` has uploaded to `provider`, in bytes.
+    #[must_use]
+    pub fn uploaded_to(&self, provider: P, requester: P) -> u64 {
+        self.volumes
+            .get(&(provider, requester))
+            .map_or(0, |v| v.uploaded_to_me)
+    }
+}
+
+impl<P: Key> IncentiveMechanism<P> for EmuleCredit<P> {
+    fn score(&self, provider: P, request: &QueuedRequest<P>) -> f64 {
+        request.waiting_secs * self.modifier(provider, request.requester)
+    }
+
+    fn record_transfer(&mut self, uploader: P, downloader: P, bytes: u64) {
+        // From the downloader's point of view, the uploader earned credit.
+        self.volumes
+            .entry((downloader, uploader))
+            .or_default()
+            .uploaded_to_me += bytes;
+        // From the uploader's point of view, the downloader consumed credit.
+        self.volumes
+            .entry((uploader, downloader))
+            .or_default()
+            .downloaded_from_me += bytes;
+    }
+
+    fn label(&self) -> &'static str {
+        "emule-credit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_peer_has_unit_modifier() {
+        let credit: EmuleCredit<u32> = EmuleCredit::new();
+        assert_eq!(credit.modifier(0, 1), 1.0);
+        assert_eq!(credit.uploaded_to(0, 1), 0);
+    }
+
+    #[test]
+    fn uploading_earns_credit_with_the_receiver() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        credit.record_transfer(1, 0, 20 * 1_048_576);
+        assert!(credit.modifier(0, 1) > 1.0, "peer 1 should have credit at peer 0");
+        assert_eq!(credit.modifier(1, 0), 1.0, "peer 0 earned nothing at peer 1");
+        assert_eq!(credit.uploaded_to(0, 1), 20 * 1_048_576);
+    }
+
+    #[test]
+    fn modifier_is_clamped_to_ten() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        credit.record_transfer(1, 0, 10_000 * 1_048_576);
+        assert!(credit.modifier(0, 1) <= 10.0);
+        assert!(credit.modifier(0, 1) >= 1.0);
+    }
+
+    #[test]
+    fn balanced_exchange_limits_modifier() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        // Peer 1 uploaded 10 MB to 0 but also downloaded 10 MB from 0:
+        // ratio = 2.0, below the sqrt cap.
+        credit.record_transfer(1, 0, 10 * 1_048_576);
+        credit.record_transfer(0, 1, 10 * 1_048_576);
+        let m = credit.modifier(0, 1);
+        assert!((m - 2.0).abs() < 1e-9, "expected ratio-based modifier, got {m}");
+    }
+
+    #[test]
+    fn small_upload_is_capped_by_sqrt_rule() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        // 1 MB uploaded, nothing downloaded: ratio says 10, cap says sqrt(3) ≈ 1.73.
+        credit.record_transfer(1, 0, 1_048_576);
+        let m = credit.modifier(0, 1);
+        assert!((m - 3f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_scales_waiting_time_by_modifier() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        credit.record_transfer(1, 0, 100 * 1_048_576);
+        let with_credit = QueuedRequest { requester: 1u32, waiting_secs: 10.0 };
+        let without = QueuedRequest { requester: 2u32, waiting_secs: 10.0 };
+        assert!(credit.score(0, &with_credit) > credit.score(0, &without));
+        // But a patient stranger eventually overtakes: the paper's criticism.
+        let patient_stranger = QueuedRequest { requester: 2u32, waiting_secs: 1_000.0 };
+        assert!(credit.score(0, &patient_stranger) > credit.score(0, &with_credit));
+    }
+
+    #[test]
+    fn pick_prefers_contributors_at_equal_waiting_time() {
+        let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+        credit.record_transfer(2, 0, 50 * 1_048_576);
+        let queue = vec![
+            QueuedRequest { requester: 1u32, waiting_secs: 30.0 },
+            QueuedRequest { requester: 2, waiting_secs: 30.0 },
+        ];
+        assert_eq!(credit.pick(0, &queue), Some(1));
+    }
+}

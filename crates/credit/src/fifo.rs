@@ -1,0 +1,53 @@
+//! First-come, first-served scheduling (no incentive).
+
+use exchange::Key;
+
+use crate::{IncentiveMechanism, QueuedRequest};
+
+/// Serve the longest-waiting request first, regardless of who sent it.
+///
+/// This is the paper's "no exchange" baseline: every request is eventually
+/// granted and contributors receive no preferential treatment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl Fifo {
+    /// Creates the mechanism.
+    #[must_use]
+    pub fn new() -> Self {
+        Fifo
+    }
+}
+
+impl<P: Key> IncentiveMechanism<P> for Fifo {
+    fn score(&self, _provider: P, request: &QueuedRequest<P>) -> f64 {
+        request.waiting_secs
+    }
+
+    fn record_transfer(&mut self, _uploader: P, _downloader: P, _bytes: u64) {}
+
+    fn label(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_equals_waiting_time() {
+        let fifo = Fifo::new();
+        let r = QueuedRequest { requester: 1u32, waiting_secs: 12.5 };
+        assert_eq!(fifo.score(0, &r), 12.5);
+    }
+
+    #[test]
+    fn history_does_not_change_ordering() {
+        let mut fifo = Fifo::new();
+        fifo.record_transfer(1u32, 0u32, 1_000_000);
+        let generous = QueuedRequest { requester: 1u32, waiting_secs: 1.0 };
+        let stranger = QueuedRequest { requester: 2u32, waiting_secs: 2.0 };
+        assert!(fifo.score(0, &stranger) > fifo.score(0, &generous));
+    }
+}

@@ -1,0 +1,135 @@
+//! Baseline incentive mechanisms for comparison with exchange-based incentives.
+//!
+//! Section II of the paper surveys the incentive mechanisms deployed or
+//! proposed at the time.  To compare the exchange mechanism against something
+//! concrete (and to support the ablation benchmarks), this crate implements
+//! the survey's main alternatives as pluggable *upload schedulers*: given the
+//! requests waiting in a provider's incoming-request queue, each mechanism
+//! scores them and the provider serves the highest-scoring request first.
+//!
+//! * [`Fifo`] — no incentive at all: serve the longest-waiting request
+//!   (the paper's "no exchange" baseline).
+//! * [`EmuleCredit`] — the eMule-style pairwise credit system: a requester's
+//!   queue rank grows with its waiting time, scaled by a credit modifier
+//!   derived from the data volumes previously exchanged between the two peers.
+//! * [`ParticipationLevel`] — the KaZaA-style self-reported participation
+//!   level; trivially subvertible because peers report their own score.
+//! * [`TitForTat`] — a BitTorrent-style reciprocation heuristic: prefer
+//!   requesters that recently uploaded to *you*, with a small optimistic
+//!   allowance for strangers.
+//!
+//! All mechanisms implement the [`IncentiveMechanism`] trait, generic over
+//! the peer identifier.
+//!
+//! # Example
+//!
+//! ```
+//! use credit::{EmuleCredit, IncentiveMechanism, QueuedRequest};
+//!
+//! let mut credit: EmuleCredit<u32> = EmuleCredit::new();
+//! // Peer 7 has uploaded a lot to us (peer 0) in the past; peer 8 nothing.
+//! credit.record_transfer(7, 0, 50_000_000);
+//!
+//! let waiting = |requester| QueuedRequest { requester, waiting_secs: 100.0 };
+//! let s7 = credit.score(0, &waiting(7));
+//! let s8 = credit.score(0, &waiting(8));
+//! assert!(s7 > s8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod emule;
+mod fifo;
+mod participation;
+mod tit_for_tat;
+
+pub use emule::EmuleCredit;
+pub use fifo::Fifo;
+pub use participation::ParticipationLevel;
+pub use tit_for_tat::TitForTat;
+
+use exchange::Key;
+
+/// A request waiting in a provider's incoming-request queue, as seen by an
+/// incentive mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest<P> {
+    /// The peer that issued the request.
+    pub requester: P,
+    /// How long the request has been waiting, in seconds.
+    pub waiting_secs: f64,
+}
+
+/// An upload-scheduling incentive mechanism.
+///
+/// The provider calls [`IncentiveMechanism::score`] for every queued request
+/// and serves the highest score first; ties are broken by waiting time by the
+/// caller.  Completed transfers are reported through
+/// [`IncentiveMechanism::record_transfer`] so that history-based mechanisms
+/// can update their state.
+pub trait IncentiveMechanism<P: Key> {
+    /// Scores `request` from the point of view of `provider`; higher scores
+    /// are served first.
+    fn score(&self, provider: P, request: &QueuedRequest<P>) -> f64;
+
+    /// Records that `uploader` transferred `bytes` to `downloader`.
+    fn record_transfer(&mut self, uploader: P, downloader: P, bytes: u64);
+
+    /// A short, stable label for reports and figures.
+    fn label(&self) -> &'static str;
+
+    /// Picks the best request among `queue` according to this mechanism.
+    ///
+    /// Returns the index of the winning request, or `None` if the queue is
+    /// empty.  Ties are broken in favour of the longer-waiting request, then
+    /// queue order.
+    fn pick(&self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let sa = self.score(provider, a);
+                let sb = self.score(provider, b);
+                sa.partial_cmp(&sb)
+                    .expect("incentive scores must not be NaN")
+                    .then(
+                        a.waiting_secs
+                            .partial_cmp(&b.waiting_secs)
+                            .expect("waiting times must not be NaN"),
+                    )
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_prefers_higher_score_then_waiting_time() {
+        let fifo: Fifo = Fifo::new();
+        let queue = vec![
+            QueuedRequest { requester: 1u32, waiting_secs: 5.0 },
+            QueuedRequest { requester: 2, waiting_secs: 50.0 },
+            QueuedRequest { requester: 3, waiting_secs: 20.0 },
+        ];
+        assert_eq!(fifo.pick(0, &queue), Some(1));
+        assert_eq!(fifo.pick(0, &[]), None);
+    }
+
+    #[test]
+    fn all_mechanisms_have_distinct_labels() {
+        let labels = [
+            IncentiveMechanism::<u32>::label(&Fifo::new()),
+            IncentiveMechanism::<u32>::label(&EmuleCredit::<u32>::new()),
+            IncentiveMechanism::<u32>::label(&ParticipationLevel::<u32>::new()),
+            IncentiveMechanism::<u32>::label(&TitForTat::<u32>::new()),
+        ];
+        let mut unique = labels.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

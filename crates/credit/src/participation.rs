@@ -1,0 +1,122 @@
+//! The KaZaA-style self-reported participation level.
+
+use std::collections::HashMap;
+
+use exchange::Key;
+
+use crate::{IncentiveMechanism, QueuedRequest};
+
+/// Self-reported participation levels, as used by KaZaA.
+///
+/// Each peer announces its own "participation level" (nominally a function of
+/// its uptime and upload/download volumes) and providers prioritise peers
+/// with higher announced levels.  The mechanism is trivially subverted — a
+/// modified client can announce any value — which is exactly why the paper
+/// dismisses it.  [`ParticipationLevel::report`] lets tests and simulations
+/// model both honest and cheating peers.
+///
+/// # Example
+///
+/// ```
+/// use credit::{IncentiveMechanism, ParticipationLevel, QueuedRequest};
+///
+/// let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+/// pl.report(1, 10.0);   // honest, modest contributor
+/// pl.report(2, 1000.0); // cheater announcing a huge level
+/// let r1 = QueuedRequest { requester: 1, waiting_secs: 60.0 };
+/// let r2 = QueuedRequest { requester: 2, waiting_secs: 1.0 };
+/// assert!(pl.score(0, &r2) > pl.score(0, &r1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParticipationLevel<P: Key> {
+    reported: HashMap<P, f64>,
+    honest_volume: HashMap<P, u64>,
+}
+
+impl<P: Key> ParticipationLevel<P> {
+    /// Creates the mechanism with no reports.
+    #[must_use]
+    pub fn new() -> Self {
+        ParticipationLevel {
+            reported: HashMap::new(),
+            honest_volume: HashMap::new(),
+        }
+    }
+
+    /// Records the level `peer` announces for itself (honest or not).
+    pub fn report(&mut self, peer: P, level: f64) {
+        self.reported.insert(peer, level.max(0.0));
+    }
+
+    /// The level `peer` currently announces (0 if it never reported).
+    #[must_use]
+    pub fn reported_level(&self, peer: P) -> f64 {
+        self.reported.get(&peer).copied().unwrap_or(0.0)
+    }
+
+    /// The level `peer` *would* honestly report based on recorded uploads
+    /// (MB uploaded), for comparison with what it announces.
+    #[must_use]
+    pub fn honest_level(&self, peer: P) -> f64 {
+        self.honest_volume.get(&peer).copied().unwrap_or(0) as f64 / 1_048_576.0
+    }
+}
+
+impl<P: Key> IncentiveMechanism<P> for ParticipationLevel<P> {
+    fn score(&self, _provider: P, request: &QueuedRequest<P>) -> f64 {
+        // Announced level dominates; waiting time only breaks ties.
+        self.reported_level(request.requester) * 1e6 + request.waiting_secs
+    }
+
+    fn record_transfer(&mut self, uploader: P, _downloader: P, bytes: u64) {
+        *self.honest_volume.entry(uploader).or_insert(0) += bytes;
+    }
+
+    fn label(&self) -> &'static str {
+        "participation-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreported_peers_have_zero_level() {
+        let pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        assert_eq!(pl.reported_level(5), 0.0);
+        assert_eq!(pl.honest_level(5), 0.0);
+    }
+
+    #[test]
+    fn cheater_outranks_honest_contributor() {
+        let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        // Peer 1 really contributes; peer 2 lies.
+        pl.record_transfer(1, 0, 500 * 1_048_576);
+        pl.report(1, 50.0);
+        pl.report(2, 10_000.0);
+        let honest = QueuedRequest { requester: 1u32, waiting_secs: 500.0 };
+        let cheater = QueuedRequest { requester: 2u32, waiting_secs: 1.0 };
+        assert!(pl.score(0, &cheater) > pl.score(0, &honest));
+        assert!(pl.honest_level(2) < pl.honest_level(1));
+    }
+
+    #[test]
+    fn negative_reports_are_clamped() {
+        let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        pl.report(1, -5.0);
+        assert_eq!(pl.reported_level(1), 0.0);
+    }
+
+    #[test]
+    fn waiting_time_breaks_ties() {
+        let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        pl.report(1, 5.0);
+        pl.report(2, 5.0);
+        let queue = vec![
+            QueuedRequest { requester: 1u32, waiting_secs: 10.0 },
+            QueuedRequest { requester: 2, waiting_secs: 20.0 },
+        ];
+        assert_eq!(pl.pick(0, &queue), Some(1));
+    }
+}

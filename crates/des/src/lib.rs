@@ -1,0 +1,45 @@
+//! Discrete-event simulation engine.
+//!
+//! This crate provides the substrate on which the file-sharing simulator in
+//! `exchange-sim` is built:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock with microsecond
+//!   resolution and total ordering (no floating-point comparison pitfalls in
+//!   the event queue).
+//! * [`EventQueue`] — a priority queue of timestamped events with stable FIFO
+//!   ordering for simultaneous events.
+//! * [`Scheduler`] — a convenience wrapper combining a clock and an event
+//!   queue, the usual main-loop driver.
+//! * [`DetRng`] — a deterministic, seedable random-number source with named
+//!   sub-streams so that independent parts of a simulation draw from
+//!   independent, reproducible streams.
+//!
+//! # Example
+//!
+//! ```
+//! use des::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_secs_f64(2.0), Ev::Pong);
+//! q.push(SimTime::from_secs_f64(1.0), Ev::Ping);
+//!
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, Ev::Ping);
+//! assert_eq!(t.as_secs_f64(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod rng;
+mod scheduler;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use scheduler::Scheduler;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,293 @@
+//! Deterministic random number generation with named sub-streams.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source for simulations.
+///
+/// All randomness in a simulation should flow through a single `DetRng` (or
+/// sub-streams derived from it) so that a run is fully reproducible from its
+/// seed.  Sub-streams derived with [`DetRng::stream`] are independent of the
+/// draw order on the parent, which keeps experiments comparable when one
+/// component changes how much randomness it consumes.
+///
+/// # Example
+///
+/// ```
+/// use des::DetRng;
+///
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.gen_range(0..100), b.gen_range(0..100));
+///
+/// // Sub-streams with different labels are decorrelated but reproducible.
+/// let mut s1 = a.stream("placement");
+/// let mut s2 = b.stream("placement");
+/// assert_eq!(s1.gen_range(0..1_000_000), s2.gen_range(0..1_000_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this generator (or stream) was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent, reproducible sub-stream identified by `label`.
+    ///
+    /// The sub-stream depends only on the parent's seed and the label, not on
+    /// how many values have already been drawn from the parent.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> DetRng {
+        let mixed = mix64(self.seed ^ fnv1a(label.as_bytes()));
+        DetRng::seed_from(mixed)
+    }
+
+    /// Derives an independent sub-stream identified by a numeric index,
+    /// e.g. one stream per peer.
+    #[must_use]
+    pub fn indexed_stream(&self, label: &str, index: u64) -> DetRng {
+        let mixed = mix64(self.seed ^ fnv1a(label.as_bytes()) ^ mix64(index.wrapping_add(1)));
+        DetRng::seed_from(mixed)
+    }
+
+    /// Samples a value uniformly from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Samples a uniform floating point number in `[0, 1)`.
+    pub fn gen_unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Chooses a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        slice.choose(&mut self.inner)
+    }
+
+    /// Chooses the index of an element with probability proportional to
+    /// `weights[i]`.  Returns `None` if `weights` is empty or all zero.
+    pub fn choose_weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if !(total > 0.0) {
+            return None;
+        }
+        let mut target = self.gen_unit() * total;
+        for (i, w) in weights.iter().copied().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating point slack: fall back to the last positive weight.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// Shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        slice.shuffle(&mut self.inner);
+    }
+
+    /// Samples up to `n` distinct elements of `slice` (uniformly, without
+    /// replacement), in random order.
+    pub fn sample<'a, T>(&mut self, slice: &'a [T], n: usize) -> Vec<&'a T> {
+        let mut idx: Vec<usize> = (0..slice.len()).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(n.min(slice.len()));
+        idx.into_iter().map(|i| &slice[i]).collect()
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// 64-bit finalizer from SplitMix64; decorrelates structured seed inputs.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a hash of a byte string, used to turn stream labels into seed material.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn streams_are_independent_of_parent_draws() {
+        let mut a = DetRng::seed_from(99);
+        let b = DetRng::seed_from(99);
+        // Consume some values from `a` only.
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut sa = a.stream("foo");
+        let mut sb = b.stream("foo");
+        assert_eq!(sa.next_u64(), sb.next_u64());
+    }
+
+    #[test]
+    fn distinct_labels_give_distinct_streams() {
+        let root = DetRng::seed_from(5);
+        let mut x = root.stream("alpha");
+        let mut y = root.stream("beta");
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn indexed_streams_differ_by_index() {
+        let root = DetRng::seed_from(5);
+        let mut x = root.indexed_stream("peer", 0);
+        let mut y = root.indexed_stream("peer", 1);
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn weighted_choice_respects_zero_weights() {
+        let mut rng = DetRng::seed_from(11);
+        let weights = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(rng.choose_weighted_index(&weights), Some(2));
+        }
+        assert_eq!(rng.choose_weighted_index(&[]), None);
+        assert_eq!(rng.choose_weighted_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn weighted_choice_is_roughly_proportional() {
+        let mut rng = DetRng::seed_from(13);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted_index(&weights).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..4.0).contains(&ratio), "ratio {ratio} should be near 3");
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = DetRng::seed_from(17);
+        let items: Vec<u32> = (0..100).collect();
+        let picked = rng.sample(&items, 10);
+        assert_eq!(picked.len(), 10);
+        let mut vals: Vec<u32> = picked.into_iter().copied().collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+        // Asking for more than available returns everything.
+        assert_eq!(rng.sample(&items, 1_000).len(), 100);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = DetRng::seed_from(23);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn gen_range_stays_in_bounds(seed in 0u64..1_000, lo in 0i64..100, width in 1i64..100) {
+                let mut rng = DetRng::seed_from(seed);
+                let hi = lo + width;
+                for _ in 0..20 {
+                    let v = rng.gen_range(lo..hi);
+                    prop_assert!(v >= lo && v < hi);
+                }
+            }
+
+            #[test]
+            fn weighted_index_only_picks_positive_weights(
+                seed in 0u64..1_000,
+                weights in proptest::collection::vec(0.0f64..5.0, 1..20),
+            ) {
+                let mut rng = DetRng::seed_from(seed);
+                if let Some(i) = rng.choose_weighted_index(&weights) {
+                    prop_assert!(weights[i] > 0.0);
+                } else {
+                    prop_assert!(weights.iter().all(|w| *w <= 0.0));
+                }
+            }
+        }
+    }
+}

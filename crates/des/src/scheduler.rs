@@ -1,0 +1,198 @@
+//! A clock + event queue bundle that drives a simulation main loop.
+
+use crate::{EventQueue, SimDuration, SimTime};
+
+/// Combines the virtual clock with an [`EventQueue`].
+///
+/// The owning simulation repeatedly calls [`Scheduler::next`] and handles the
+/// returned events; the scheduler advances the clock to each event's
+/// timestamp.  Events may be scheduled while handling other events.
+///
+/// # Example
+///
+/// ```
+/// use des::{Scheduler, SimDuration};
+///
+/// #[derive(Debug)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_in(SimDuration::from_secs(1), Ev::Tick(1));
+/// sched.schedule_in(SimDuration::from_secs(2), Ev::Tick(2));
+///
+/// let mut ticks = Vec::new();
+/// while let Some(ev) = sched.next() {
+///     match ev { Ev::Tick(n) => ticks.push(n) }
+/// }
+/// assert_eq!(ticks, vec![1, 2]);
+/// assert_eq!(sched.now().as_secs_f64(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    horizon: Option<SimTime>,
+    delivered: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`] and no horizon.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            horizon: None,
+            delivered: 0,
+        }
+    }
+
+    /// Creates a scheduler that stops delivering events after `horizon`.
+    ///
+    /// Events scheduled past the horizon stay in the queue but are never
+    /// returned by [`Scheduler::next`].
+    #[must_use]
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        Scheduler {
+            horizon: Some(horizon),
+            ..Scheduler::new()
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured stop time, if any.
+    #[must_use]
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
+    }
+
+    /// Number of events delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (including any past the horizon).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: an event cannot fire in the
+    /// past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past (now={}, at={})",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire immediately (at the current time, after any
+    /// events already queued for the current time).
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Delivers the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty or the next event lies beyond
+    /// the configured horizon (in which case the clock is advanced to the
+    /// horizon).
+    pub fn next(&mut self) -> Option<E> {
+        let next_time = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if next_time > h {
+                self.now = h;
+                return None;
+            }
+        }
+        let (time, event) = self.queue.pop().expect("peeked entry must exist");
+        self.now = time;
+        self.delivered += 1;
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(5), "a");
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.next(), Some("a"));
+        assert_eq!(s.now(), SimTime::from_secs_f64(5.0));
+        assert_eq!(s.delivered(), 1);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut s = Scheduler::with_horizon(SimTime::from_secs_f64(10.0));
+        s.schedule_at(SimTime::from_secs_f64(5.0), 1);
+        s.schedule_at(SimTime::from_secs_f64(15.0), 2);
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.next(), None);
+        assert_eq!(s.now(), SimTime::from_secs_f64(10.0));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn schedule_now_runs_at_current_time() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs_f64(1.0), "later");
+        assert_eq!(s.next(), Some("later"));
+        s.schedule_now("now");
+        assert_eq!(s.next(), Some("now"));
+        assert_eq!(s.now(), SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs_f64(2.0), ());
+        let _ = s.next();
+        s.schedule_at(SimTime::from_secs_f64(1.0), ());
+    }
+
+    #[test]
+    fn events_scheduled_during_handling_are_delivered() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(1), 0u32);
+        let mut seen = Vec::new();
+        while let Some(ev) = s.next() {
+            seen.push(ev);
+            if ev < 3 {
+                s.schedule_in(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn empty_scheduler_returns_none_without_advancing() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert_eq!(s.next(), None);
+        assert_eq!(s.now(), SimTime::ZERO);
+    }
+}

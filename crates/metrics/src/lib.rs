@@ -1,0 +1,28 @@
+//! Statistics collection for simulation experiments.
+//!
+//! The paper's evaluation reports means, ratios, distributions (CDFs) and
+//! per-class breakdowns (sharing vs. non-sharing peers, session types).  This
+//! crate provides the small set of measurement tools the simulator and the
+//! figure harness need:
+//!
+//! * [`OnlineStats`] — streaming mean/variance/min/max (Welford's algorithm).
+//! * [`SampleSet`] — a bounded reservoir of raw samples for percentiles and
+//!   empirical CDFs.
+//! * [`Cdf`] — an empirical cumulative distribution extracted from samples.
+//! * [`ClassTally`] — per-class [`OnlineStats`] keyed by an arbitrary label
+//!   (e.g. session type or peer class).
+//! * [`Table`] — simple column-aligned text tables used by the figure
+//!   binaries to print paper-style rows.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cdf;
+mod stats;
+mod table;
+mod tally;
+
+pub use cdf::{Cdf, SampleSet};
+pub use stats::OnlineStats;
+pub use table::Table;
+pub use tally::ClassTally;

@@ -1,0 +1,29 @@
+//! Access-link capacity and block-level transfer model.
+//!
+//! The paper's transfer model (Section III) is deliberately simple:
+//!
+//! * every peer has a fixed, asymmetric access link (e.g. 800 kbit/s down,
+//!   80 kbit/s up) and the core network is overprovisioned, so the only
+//!   bottleneck is the access link;
+//! * the upload link is divided into fixed-size *slots* (10 kbit/s each) and
+//!   every transfer occupies exactly one upload slot at the source and one
+//!   download slot at the sink;
+//! * data moves in relatively large, equal, fixed-size *blocks*; exchanges
+//!   proceed one block at a time.
+//!
+//! This crate provides the corresponding building blocks:
+//!
+//! * [`LinkConfig`] — per-peer link parameters and derived slot counts/rates.
+//! * [`SlotPool`] — bookkeeping of upload or download slots.
+//! * [`TransferSession`] — progress tracking of one block-by-block transfer.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod link;
+mod session;
+mod slots;
+
+pub use link::LinkConfig;
+pub use session::TransferSession;
+pub use slots::{SlotGuardError, SlotPool};

@@ -1,0 +1,153 @@
+//! Per-peer access-link parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed, asymmetric access-link capacity of one peer.
+///
+/// All rates are in kilobits per second, as in the paper's Table II.  The
+/// link is divided into fixed-size transfer slots; a transfer always runs at
+/// exactly one slot's rate.
+///
+/// # Example
+///
+/// ```
+/// use netsim::LinkConfig;
+///
+/// let link = LinkConfig::paper_defaults();
+/// assert_eq!(link.upload_slots(), 8);
+/// assert_eq!(link.download_slots(), 80);
+/// assert_eq!(link.slot_bytes_per_sec(), 1_250.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Download capacity in kbit/s.
+    pub download_kbps: f64,
+    /// Upload capacity in kbit/s.
+    pub upload_kbps: f64,
+    /// Capacity of one transfer slot in kbit/s.
+    pub slot_kbps: f64,
+}
+
+impl LinkConfig {
+    /// The link parameters of Table II (800 kbit/s down, 80 kbit/s up,
+    /// 10 kbit/s slots).
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        LinkConfig {
+            download_kbps: 800.0,
+            upload_kbps: 80.0,
+            slot_kbps: 10.0,
+        }
+    }
+
+    /// A copy of this configuration with a different upload capacity,
+    /// used by the Figure 4/5 capacity sweeps.
+    #[must_use]
+    pub fn with_upload_kbps(mut self, upload_kbps: f64) -> Self {
+        self.upload_kbps = upload_kbps;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("download_kbps", self.download_kbps),
+            ("upload_kbps", self.upload_kbps),
+            ("slot_kbps", self.slot_kbps),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        if self.slot_kbps > self.upload_kbps {
+            return Err(format!(
+                "slot capacity {} kbit/s exceeds upload capacity {} kbit/s",
+                self.slot_kbps, self.upload_kbps
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of concurrent upload slots this link supports.
+    #[must_use]
+    pub fn upload_slots(&self) -> usize {
+        (self.upload_kbps / self.slot_kbps).floor() as usize
+    }
+
+    /// Number of concurrent download slots this link supports.
+    #[must_use]
+    pub fn download_slots(&self) -> usize {
+        (self.download_kbps / self.slot_kbps).floor() as usize
+    }
+
+    /// The byte rate of one transfer slot (bytes per second).
+    #[must_use]
+    pub fn slot_bytes_per_sec(&self) -> f64 {
+        self.slot_kbps * 1000.0 / 8.0
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let link = LinkConfig::paper_defaults();
+        assert_eq!(link.download_kbps, 800.0);
+        assert_eq!(link.upload_kbps, 80.0);
+        assert_eq!(link.slot_kbps, 10.0);
+        assert!(link.validate().is_ok());
+    }
+
+    #[test]
+    fn slot_counts_floor_partial_slots() {
+        let link = LinkConfig {
+            download_kbps: 95.0,
+            upload_kbps: 45.0,
+            slot_kbps: 10.0,
+        };
+        assert_eq!(link.download_slots(), 9);
+        assert_eq!(link.upload_slots(), 4);
+    }
+
+    #[test]
+    fn with_upload_kbps_overrides_only_upload() {
+        let link = LinkConfig::paper_defaults().with_upload_kbps(40.0);
+        assert_eq!(link.upload_kbps, 40.0);
+        assert_eq!(link.download_kbps, 800.0);
+        assert_eq!(link.upload_slots(), 4);
+    }
+
+    #[test]
+    fn byte_rate_conversion() {
+        let link = LinkConfig::paper_defaults();
+        // 10 kbit/s = 10_000 bits/s = 1_250 bytes/s
+        assert_eq!(link.slot_bytes_per_sec(), 1_250.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut link = LinkConfig::paper_defaults();
+        link.upload_kbps = 0.0;
+        assert!(link.validate().is_err());
+
+        let mut link = LinkConfig::paper_defaults();
+        link.slot_kbps = 200.0;
+        assert!(link.validate().is_err());
+
+        let mut link = LinkConfig::paper_defaults();
+        link.download_kbps = f64::NAN;
+        assert!(link.validate().is_err());
+    }
+}

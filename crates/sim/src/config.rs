@@ -1,0 +1,276 @@
+//! Simulation configuration (the paper's Table II plus engine knobs).
+
+use exchange::ExchangePolicy;
+use netsim::LinkConfig;
+use serde::{Deserialize, Serialize};
+use workload::WorkloadConfig;
+
+/// How a provider orders *non-exchange* requests once no exchange is
+/// possible (and, under [`ExchangePolicy::NoExchange`], all requests).
+///
+/// The paper serves them first-come, first-served; the other options plug in
+/// the baseline incentive mechanisms from the `credit` crate for ablation
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FallbackOrder {
+    /// Longest-waiting request first (the paper's behaviour).
+    Fifo,
+    /// eMule-style pairwise credit (queue rank = waiting time × credit).
+    EmuleCredit,
+    /// BitTorrent-style reciprocation.
+    TitForTat,
+}
+
+/// Full configuration of one simulation run.
+///
+/// [`SimConfig::paper_defaults`] reproduces Table II of the paper;
+/// [`SimConfig::quick_test`] is a drastically scaled-down variant for unit
+/// tests and doc examples.
+///
+/// # Example
+///
+/// ```
+/// use sim::SimConfig;
+///
+/// let config = SimConfig::paper_defaults();
+/// assert_eq!(config.num_peers, 200);
+/// assert_eq!(config.max_pending_objects, 6);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of peers in the system.
+    pub num_peers: usize,
+    /// Fraction of peers that never upload ("free-riders" / non-sharing).
+    pub freerider_fraction: f64,
+    /// Content and storage parameters.
+    pub workload: WorkloadConfig,
+    /// Access-link capacities and slot size.
+    pub link: LinkConfig,
+    /// The exchange discipline under evaluation.
+    pub discipline: ExchangePolicy,
+    /// Ordering of non-exchange requests.
+    pub fallback: FallbackOrder,
+    /// Whether a newly feasible exchange may preempt an ongoing non-exchange
+    /// upload (the paper reclaims such slots "as soon as another exchange
+    /// becomes possible").
+    pub preemption: bool,
+    /// Maximum number of objects a peer downloads concurrently
+    /// ("max pending objects" in Table II).
+    pub max_pending_objects: usize,
+    /// Capacity of each peer's incoming-request queue.
+    pub irq_capacity: usize,
+    /// Maximum number of providers a lookup returns for one object
+    /// (the paper: "locate up to a certain fraction of peers").
+    pub lookup_max_providers: usize,
+    /// Bytes moved per transfer block.
+    pub block_bytes: u64,
+    /// Maximum nodes visited per ring search (bounds the per-scheduling-step
+    /// cost on providers with very busy incoming-request queues).
+    pub ring_search_budget: usize,
+    /// Maximum incoming-request entries followed per node during ring search
+    /// (the effective branching factor of the shipped request tree).
+    pub ring_search_fanout: usize,
+    /// Virtual length of the run, in seconds.
+    pub sim_duration_s: f64,
+    /// Warm-up period excluded from all reported statistics, in seconds.
+    /// The system starts empty, so early completions are unrepresentative;
+    /// figures use a warm-up of a few simulated hours.
+    pub warmup_s: f64,
+    /// Interval between a peer's storage-maintenance passes, in seconds.
+    pub storage_maintenance_interval_s: f64,
+    /// Interval at which a peer retries generating requests for which no
+    /// provider was found, in seconds.
+    pub request_retry_interval_s: f64,
+}
+
+impl SimConfig {
+    /// The configuration of Table II in the paper.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SimConfig {
+            num_peers: 200,
+            freerider_fraction: 0.5,
+            workload: WorkloadConfig::paper_defaults(),
+            link: LinkConfig::paper_defaults(),
+            discipline: ExchangePolicy::two_five_way(),
+            fallback: FallbackOrder::Fifo,
+            preemption: true,
+            max_pending_objects: 6,
+            irq_capacity: 1000,
+            lookup_max_providers: 10,
+            block_bytes: 256 * 1024,
+            ring_search_budget: 6_000,
+            ring_search_fanout: 16,
+            sim_duration_s: 48.0 * 3600.0,
+            warmup_s: 8.0 * 3600.0,
+            storage_maintenance_interval_s: 600.0,
+            request_retry_interval_s: 300.0,
+        }
+    }
+
+    /// A small, fast configuration for tests and doc examples: 30 peers,
+    /// small objects, a short horizon.
+    #[must_use]
+    pub fn quick_test() -> Self {
+        let mut workload = WorkloadConfig::small();
+        workload.object_size_bytes = 2 * 1024 * 1024;
+        SimConfig {
+            num_peers: 30,
+            freerider_fraction: 0.5,
+            workload,
+            link: LinkConfig::paper_defaults(),
+            discipline: ExchangePolicy::two_five_way(),
+            fallback: FallbackOrder::Fifo,
+            preemption: true,
+            max_pending_objects: 4,
+            irq_capacity: 200,
+            lookup_max_providers: 8,
+            block_bytes: 128 * 1024,
+            ring_search_budget: 4_000,
+            ring_search_fanout: 8,
+            sim_duration_s: 3_000.0,
+            warmup_s: 0.0,
+            storage_maintenance_interval_s: 300.0,
+            request_retry_interval_s: 120.0,
+        }
+    }
+
+    /// Scales the run length and warm-up by `factor`, for quick looks at
+    /// otherwise paper-sized experiments.
+    #[must_use]
+    pub fn with_duration_scale(mut self, factor: f64) -> Self {
+        self.sim_duration_s *= factor.max(0.0);
+        self.warmup_s *= factor.max(0.0);
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_peers < 2 {
+            return Err("a file-sharing system needs at least two peers".into());
+        }
+        if !(0.0..=1.0).contains(&self.freerider_fraction) {
+            return Err(format!(
+                "freerider_fraction must be in [0, 1], got {}",
+                self.freerider_fraction
+            ));
+        }
+        self.workload.validate()?;
+        self.link.validate()?;
+        if self.max_pending_objects == 0 {
+            return Err("max_pending_objects must be positive".into());
+        }
+        if self.irq_capacity == 0 {
+            return Err("irq_capacity must be positive".into());
+        }
+        if self.lookup_max_providers == 0 {
+            return Err("lookup_max_providers must be positive".into());
+        }
+        if self.block_bytes == 0 {
+            return Err("block_bytes must be positive".into());
+        }
+        if self.ring_search_budget == 0 {
+            return Err("ring_search_budget must be positive".into());
+        }
+        if self.ring_search_fanout == 0 {
+            return Err("ring_search_fanout must be positive".into());
+        }
+        if !(self.sim_duration_s.is_finite() && self.sim_duration_s > 0.0) {
+            return Err("sim_duration_s must be positive".into());
+        }
+        if !(self.warmup_s.is_finite() && self.warmup_s >= 0.0) {
+            return Err("warmup_s must be non-negative".into());
+        }
+        if self.warmup_s >= self.sim_duration_s {
+            return Err(format!(
+                "warmup_s ({}) must be shorter than sim_duration_s ({})",
+                self.warmup_s, self.sim_duration_s
+            ));
+        }
+        for (name, v) in [
+            ("storage_maintenance_interval_s", self.storage_maintenance_interval_s),
+            ("request_retry_interval_s", self.request_retry_interval_s),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.num_peers, 200);
+        assert_eq!(c.freerider_fraction, 0.5);
+        assert_eq!(c.max_pending_objects, 6);
+        assert_eq!(c.irq_capacity, 1000);
+        assert_eq!(c.link.upload_kbps, 80.0);
+        assert_eq!(c.link.download_kbps, 800.0);
+        assert_eq!(c.workload.num_categories, 300);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn quick_test_is_valid_and_small() {
+        let c = SimConfig::quick_test();
+        assert!(c.validate().is_ok());
+        assert!(c.num_peers < 50);
+        assert!(c.sim_duration_s < 10_000.0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let c = SimConfig::paper_defaults().with_duration_scale(0.5);
+        assert_eq!(c.sim_duration_s, 24.0 * 3600.0);
+        assert_eq!(c.warmup_s, 4.0 * 3600.0);
+    }
+
+    #[test]
+    fn warmup_must_fit_inside_duration() {
+        let mut c = SimConfig::quick_test();
+        c.warmup_s = c.sim_duration_s;
+        assert!(c.validate().is_err());
+        c.warmup_s = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SimConfig::quick_test();
+        c.num_peers = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.freerider_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.block_bytes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.sim_duration_s = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.lookup_max_providers = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Parameter sweeps behind every figure of the paper's evaluation.
+//!
+//! Each function runs a family of simulations and returns plain rows that the
+//! figure binaries (crate `exchange-bench`) format into the tables/series the
+//! paper plots.  All sweeps take a base [`SimConfig`] so that callers can
+//! scale the experiments down (fewer peers, shorter horizon) for quick runs.
+
+use exchange::ExchangePolicy;
+
+use crate::{PeerClass, SessionKind, SimConfig, SimReport, Simulation};
+
+/// Runs a single configuration and returns its report.
+#[must_use]
+pub fn run(config: SimConfig, seed: u64) -> SimReport {
+    Simulation::new(config, seed).run()
+}
+
+/// One point of the Figure 4/5 sweep: a policy at a given upload capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPoint {
+    /// Upload capacity in kbit/s.
+    pub upload_kbps: f64,
+    /// The discipline under test.
+    pub policy: ExchangePolicy,
+    /// Mean download time of sharing peers, minutes.
+    pub sharing_min: Option<f64>,
+    /// Mean download time of non-sharing peers, minutes.
+    pub non_sharing_min: Option<f64>,
+    /// Fraction of sessions that were exchange transfers (Figure 5).
+    pub exchange_fraction: f64,
+}
+
+/// Figure 4 and Figure 5: mean download time and exchange-session fraction as
+/// the upload capacity varies.
+#[must_use]
+pub fn capacity_sweep(
+    base: &SimConfig,
+    policies: &[ExchangePolicy],
+    capacities_kbps: &[f64],
+    seed: u64,
+) -> Vec<CapacityPoint> {
+    let mut points = Vec::new();
+    for &upload_kbps in capacities_kbps {
+        for &policy in policies {
+            let mut config = base.clone();
+            config.link = config.link.with_upload_kbps(upload_kbps);
+            config.discipline = policy;
+            let report = run(config, seed);
+            points.push(CapacityPoint {
+                upload_kbps,
+                policy,
+                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
+                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
+                exchange_fraction: report.exchange_session_fraction(),
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Figure 6 sweep: a maximum ring size under one preference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSizePoint {
+    /// The maximum ring size N.
+    pub max_ring: usize,
+    /// Whether longer rings were preferred (`N-2-way`) or shorter (`2-N-way`).
+    pub prefer_longer: bool,
+    /// Mean download time of sharing peers, minutes.
+    pub sharing_min: Option<f64>,
+    /// Mean download time of non-sharing peers, minutes.
+    pub non_sharing_min: Option<f64>,
+}
+
+/// Figure 6: the benefit of higher-order exchanges as the maximum ring size
+/// grows, for both preference orders.
+#[must_use]
+pub fn ring_size_sweep(base: &SimConfig, max_sizes: &[usize], seed: u64) -> Vec<RingSizePoint> {
+    let mut points = Vec::new();
+    for &max_ring in max_sizes {
+        for prefer_longer in [true, false] {
+            let mut config = base.clone();
+            config.discipline = if max_ring < 2 {
+                ExchangePolicy::NoExchange
+            } else if prefer_longer {
+                ExchangePolicy::PreferLonger { max_ring }
+            } else {
+                ExchangePolicy::PreferShorter { max_ring }
+            };
+            let report = run(config, seed);
+            points.push(RingSizePoint {
+                max_ring,
+                prefer_longer,
+                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
+                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Figure 9/10 sweep: a policy at a given popularity factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopularityPoint {
+    /// The object/category popularity factor `f`.
+    pub factor: f64,
+    /// The discipline under test.
+    pub policy: ExchangePolicy,
+    /// Mean download time of sharing peers, minutes.
+    pub sharing_min: Option<f64>,
+    /// Mean download time of non-sharing peers, minutes.
+    pub non_sharing_min: Option<f64>,
+    /// Mean volume downloaded per sharing peer, MB (Figure 10).
+    pub sharing_volume_mb: Option<f64>,
+    /// Mean volume downloaded per non-sharing peer, MB (Figure 10).
+    pub non_sharing_volume_mb: Option<f64>,
+}
+
+/// Figures 9 and 10: the effect of the popularity factor `f` on download
+/// times and transferred volume.
+#[must_use]
+pub fn popularity_sweep(
+    base: &SimConfig,
+    policies: &[ExchangePolicy],
+    factors: &[f64],
+    seed: u64,
+) -> Vec<PopularityPoint> {
+    let mut points = Vec::new();
+    for &factor in factors {
+        for &policy in policies {
+            let mut config = base.clone();
+            config.workload.category_popularity_factor = factor;
+            config.workload.object_popularity_factor = factor;
+            config.discipline = policy;
+            let report = run(config, seed);
+            points.push(PopularityPoint {
+                factor,
+                policy,
+                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
+                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
+                sharing_volume_mb: report.mean_volume_per_peer_mb(PeerClass::Sharing),
+                non_sharing_volume_mb: report.mean_volume_per_peer_mb(PeerClass::NonSharing),
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Figure 11 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutstandingPoint {
+    /// Maximum outstanding requests per peer.
+    pub max_outstanding: usize,
+    /// Number of categories each peer is interested in.
+    pub categories_per_peer: u32,
+    /// Ratio of non-sharing to sharing mean download time (the "speedup" of
+    /// sharing users).
+    pub ratio: Option<f64>,
+}
+
+/// Figure 11: the download-time ratio between sharing and non-sharing users
+/// as a function of the maximum number of outstanding requests, for several
+/// values of categories-per-peer.
+#[must_use]
+pub fn outstanding_sweep(
+    base: &SimConfig,
+    outstanding: &[usize],
+    categories_per_peer: &[u32],
+    seed: u64,
+) -> Vec<OutstandingPoint> {
+    let mut points = Vec::new();
+    for &cats in categories_per_peer {
+        for &max_outstanding in outstanding {
+            let mut config = base.clone();
+            config.max_pending_objects = max_outstanding;
+            config.workload.categories_per_peer = (cats, cats);
+            let report = run(config, seed);
+            points.push(OutstandingPoint {
+                max_outstanding,
+                categories_per_peer: cats,
+                ratio: report.download_time_ratio(),
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Figure 12 sweep: a policy at a given free-rider fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreeriderPoint {
+    /// Fraction of non-sharing peers in the system.
+    pub freerider_fraction: f64,
+    /// The discipline under test.
+    pub policy: ExchangePolicy,
+    /// Mean download time of sharing peers, minutes.
+    pub sharing_min: Option<f64>,
+    /// Mean download time of non-sharing peers, minutes.
+    pub non_sharing_min: Option<f64>,
+}
+
+/// Figure 12: mean download times as the fraction of non-sharing peers varies.
+#[must_use]
+pub fn freerider_sweep(
+    base: &SimConfig,
+    policies: &[ExchangePolicy],
+    fractions: &[f64],
+    seed: u64,
+) -> Vec<FreeriderPoint> {
+    let mut points = Vec::new();
+    for &fraction in fractions {
+        for &policy in policies {
+            let mut config = base.clone();
+            config.freerider_fraction = fraction;
+            config.discipline = policy;
+            let report = run(config, seed);
+            points.push(FreeriderPoint {
+                freerider_fraction: fraction,
+                policy,
+                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
+                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
+            });
+        }
+    }
+    points
+}
+
+/// Figures 7 and 8: a single run whose per-session distributions (bytes and
+/// waiting times, broken down by session kind) are read straight off the
+/// returned report.
+#[must_use]
+pub fn session_distributions(base: &SimConfig, seed: u64) -> SimReport {
+    run(base.clone(), seed)
+}
+
+/// The session kinds the paper plots in Figures 7 and 8, in plot order.
+#[must_use]
+pub fn figure_session_kinds(max_ring: usize) -> Vec<SessionKind> {
+    let mut kinds = vec![SessionKind::NonExchange];
+    for size in 2..=max_ring.max(2) {
+        kinds.push(SessionKind::Exchange { ring_size: size });
+    }
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> SimConfig {
+        let mut config = SimConfig::quick_test();
+        config.num_peers = 20;
+        config.sim_duration_s = 1_200.0;
+        config
+    }
+
+    #[test]
+    fn capacity_sweep_produces_one_point_per_combination() {
+        let points = capacity_sweep(
+            &tiny_base(),
+            &[ExchangePolicy::NoExchange, ExchangePolicy::Pairwise],
+            &[40.0, 80.0],
+            1,
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.exchange_fraction >= 0.0));
+        // The no-exchange runs never report exchange sessions.
+        for p in points.iter().filter(|p| p.policy == ExchangePolicy::NoExchange) {
+            assert_eq!(p.exchange_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn ring_size_sweep_covers_both_preferences() {
+        let points = ring_size_sweep(&tiny_base(), &[2, 3], 2);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().any(|p| p.prefer_longer));
+        assert!(points.iter().any(|p| !p.prefer_longer));
+    }
+
+    #[test]
+    fn popularity_sweep_sets_factor() {
+        let points = popularity_sweep(&tiny_base(), &[ExchangePolicy::Pairwise], &[0.0, 1.0], 3);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].factor, 0.0);
+        assert_eq!(points[1].factor, 1.0);
+    }
+
+    #[test]
+    fn outstanding_sweep_crosses_parameters() {
+        let points = outstanding_sweep(&tiny_base(), &[2, 4], &[2, 4], 4);
+        assert_eq!(points.len(), 4);
+        let cats: Vec<u32> = points.iter().map(|p| p.categories_per_peer).collect();
+        assert!(cats.contains(&2) && cats.contains(&4));
+    }
+
+    #[test]
+    fn freerider_sweep_varies_population() {
+        let points = freerider_sweep(
+            &tiny_base(),
+            &[ExchangePolicy::two_five_way()],
+            &[0.2, 0.8],
+            5,
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].freerider_fraction, 0.2);
+    }
+
+    #[test]
+    fn figure_kinds_are_ordered_and_complete() {
+        let kinds = figure_session_kinds(5);
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds[0], SessionKind::NonExchange);
+        assert_eq!(kinds[1], SessionKind::Exchange { ring_size: 2 });
+        assert_eq!(kinds[4], SessionKind::Exchange { ring_size: 5 });
+    }
+
+    #[test]
+    fn session_distribution_run_reports_kinds() {
+        let report = session_distributions(&tiny_base(), 6);
+        assert!(report.total_sessions() > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! The file-sharing system simulator of the paper's Section IV.
+//!
+//! This crate ties the substrates together into the 200-node file-sharing
+//! simulation the paper evaluates:
+//!
+//! * the content catalog, per-peer interests and request workload come from
+//!   [`workload`];
+//! * access links, transfer slots and block-level sessions come from
+//!   [`netsim`];
+//! * exchange-ring discovery, the token protocol and the exchange
+//!   disciplines come from [`exchange`];
+//! * optional baseline upload schedulers come from [`credit`];
+//! * everything is driven by the discrete-event engine in [`des`] and
+//!   measured with [`metrics`].
+//!
+//! The central type is [`Simulation`]: build a [`SimConfig`] (defaults follow
+//! the paper's Table II), run it, and read the resulting [`SimReport`].
+//! Module [`experiment`] contains the parameter sweeps behind every figure of
+//! the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use sim::{ExchangeDiscipline, SimConfig, Simulation};
+//!
+//! let mut config = SimConfig::quick_test();
+//! config.discipline = ExchangeDiscipline::two_five_way();
+//! let report = Simulation::new(config, 7).run();
+//! assert!(report.completed_downloads() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod experiment;
+mod peer;
+mod report;
+mod simulation;
+mod types;
+
+pub use config::{FallbackOrder, SimConfig};
+pub use exchange::ExchangePolicy as ExchangeDiscipline;
+pub use peer::{PeerState, WantState};
+pub use report::SimReport;
+pub use simulation::Simulation;
+pub use types::{PeerClass, SessionEnd, SessionKind};

@@ -1,0 +1,149 @@
+//! Per-peer simulation state.
+
+use std::collections::BTreeMap;
+
+use des::SimTime;
+use netsim::SlotPool;
+use workload::{ObjectId, PeerId, PeerInterests, Storage};
+
+use crate::PeerClass;
+
+/// The state of one pending download (one "outstanding request").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WantState {
+    /// When the request was issued (used for waiting- and download-time
+    /// metrics).
+    pub issued_at: SimTime,
+    /// Bytes of the object received so far, across all sessions.
+    pub received_bytes: u64,
+    /// The providers discovered by the lookup for this object.
+    pub providers: Vec<PeerId>,
+    /// Number of currently active sessions delivering this object.
+    pub active_sessions: usize,
+}
+
+impl WantState {
+    /// Creates a fresh want issued at `issued_at` with the given provider list.
+    #[must_use]
+    pub fn new(issued_at: SimTime, providers: Vec<PeerId>) -> Self {
+        WantState {
+            issued_at,
+            received_bytes: 0,
+            providers,
+            active_sessions: 0,
+        }
+    }
+}
+
+/// The complete state of one peer.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    /// The peer's identifier.
+    pub id: PeerId,
+    /// Whether the peer uploads at all.
+    pub sharing: bool,
+    /// The categories the peer is interested in.
+    pub interests: PeerInterests,
+    /// The objects the peer currently stores.
+    pub storage: Storage,
+    /// Upload transfer slots.
+    pub upload_slots: SlotPool,
+    /// Download transfer slots.
+    pub download_slots: SlotPool,
+    /// Outstanding downloads, keyed by object.
+    pub wants: BTreeMap<ObjectId, WantState>,
+    /// Total bytes this peer has downloaded over the run (for Figure 10).
+    pub downloaded_bytes: u64,
+    /// Total bytes this peer has uploaded over the run.
+    pub uploaded_bytes: u64,
+}
+
+impl PeerState {
+    /// The peer's class label for reporting.
+    #[must_use]
+    pub fn class(&self) -> PeerClass {
+        if self.sharing {
+            PeerClass::Sharing
+        } else {
+            PeerClass::NonSharing
+        }
+    }
+
+    /// Whether the peer can accept one more outstanding download.
+    #[must_use]
+    pub fn can_issue_request(&self, max_pending: usize) -> bool {
+        self.wants.len() < max_pending
+    }
+
+    /// Whether the peer already stores or is already downloading `object`.
+    #[must_use]
+    pub fn has_or_wants(&self, object: ObjectId) -> bool {
+        self.storage.contains(object) || self.wants.contains_key(&object)
+    }
+
+    /// The objects this peer currently wants, in id order.
+    #[must_use]
+    pub fn wanted_objects(&self) -> Vec<ObjectId> {
+        self.wants.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::DetRng;
+    use workload::{Catalog, WorkloadConfig};
+
+    fn test_peer(sharing: bool) -> PeerState {
+        let config = WorkloadConfig::small();
+        let mut rng = DetRng::seed_from(1);
+        let catalog = Catalog::generate(&config, &mut rng);
+        let interests = PeerInterests::generate(&catalog, &config, &mut rng);
+        PeerState {
+            id: PeerId::new(0),
+            sharing,
+            interests,
+            storage: Storage::new(5),
+            upload_slots: SlotPool::new(8),
+            download_slots: SlotPool::new(80),
+            wants: BTreeMap::new(),
+            downloaded_bytes: 0,
+            uploaded_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn class_follows_sharing_flag() {
+        assert_eq!(test_peer(true).class(), PeerClass::Sharing);
+        assert_eq!(test_peer(false).class(), PeerClass::NonSharing);
+    }
+
+    #[test]
+    fn pending_request_budget() {
+        let mut peer = test_peer(true);
+        assert!(peer.can_issue_request(2));
+        peer.wants.insert(ObjectId::new(1), WantState::new(SimTime::ZERO, vec![]));
+        peer.wants.insert(ObjectId::new(2), WantState::new(SimTime::ZERO, vec![]));
+        assert!(!peer.can_issue_request(2));
+        assert!(peer.can_issue_request(3));
+    }
+
+    #[test]
+    fn has_or_wants_covers_storage_and_pending() {
+        let mut peer = test_peer(true);
+        peer.storage.insert(ObjectId::new(7));
+        peer.wants.insert(ObjectId::new(9), WantState::new(SimTime::ZERO, vec![]));
+        assert!(peer.has_or_wants(ObjectId::new(7)));
+        assert!(peer.has_or_wants(ObjectId::new(9)));
+        assert!(!peer.has_or_wants(ObjectId::new(11)));
+        assert_eq!(peer.wanted_objects(), vec![ObjectId::new(9)]);
+    }
+
+    #[test]
+    fn want_state_starts_clean() {
+        let want = WantState::new(SimTime::from_secs_f64(5.0), vec![PeerId::new(3)]);
+        assert_eq!(want.received_bytes, 0);
+        assert_eq!(want.active_sessions, 0);
+        assert_eq!(want.providers, vec![PeerId::new(3)]);
+    }
+}

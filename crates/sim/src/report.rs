@@ -1,0 +1,318 @@
+//! Run-level measurements collected by the simulator.
+
+use std::collections::BTreeMap;
+
+use metrics::{Cdf, ClassTally, OnlineStats, SampleSet};
+
+use crate::{PeerClass, SessionKind};
+
+/// Everything a finished simulation run reports.
+///
+/// All quantities map directly onto the paper's figures:
+///
+/// * mean download time per peer class (Figures 4, 6, 9, 12) and their ratio
+///   (Figure 11);
+/// * the fraction of sessions that are exchange transfers (Figure 5);
+/// * per-session transferred bytes and waiting times broken down by session
+///   type (Figures 7 and 8);
+/// * per-peer downloaded volume by class (Figure 10).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    download_time_min: ClassTally<PeerClass>,
+    waiting_secs: BTreeMap<SessionKind, SampleSet>,
+    session_bytes: BTreeMap<SessionKind, SampleSet>,
+    session_counts: BTreeMap<SessionKind, u64>,
+    volume_per_peer_mb: ClassTally<PeerClass>,
+    completed_downloads: u64,
+    rings_formed: BTreeMap<usize, u64>,
+    token_declines: u64,
+    preemptions: u64,
+    sim_seconds: f64,
+    peers: usize,
+}
+
+impl SimReport {
+    /// Creates an empty report for a run over `peers` peers.
+    #[must_use]
+    pub fn new(peers: usize) -> Self {
+        SimReport {
+            download_time_min: ClassTally::new(),
+            waiting_secs: BTreeMap::new(),
+            session_bytes: BTreeMap::new(),
+            session_counts: BTreeMap::new(),
+            volume_per_peer_mb: ClassTally::new(),
+            completed_downloads: 0,
+            rings_formed: BTreeMap::new(),
+            token_declines: 0,
+            preemptions: 0,
+            sim_seconds: 0.0,
+            peers,
+        }
+    }
+
+    // ---- recording (used by the simulator) ---------------------------------
+
+    /// Records one completed download by a peer of `class`, in minutes.
+    pub fn record_download(&mut self, class: PeerClass, minutes: f64) {
+        self.download_time_min.record(class, minutes);
+        self.completed_downloads += 1;
+    }
+
+    /// Records the waiting time (request → first byte of a session) of one
+    /// session of the given kind.
+    pub fn record_waiting(&mut self, kind: SessionKind, seconds: f64) {
+        self.waiting_secs
+            .entry(kind)
+            .or_insert_with(|| SampleSet::with_capacity(200_000))
+            .record(seconds);
+    }
+
+    /// Records a finished session: its kind and the bytes it carried.
+    pub fn record_session(&mut self, kind: SessionKind, bytes: u64) {
+        self.session_bytes
+            .entry(kind)
+            .or_insert_with(|| SampleSet::with_capacity(200_000))
+            .record(bytes as f64);
+        *self.session_counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records the activation of an exchange ring of `size` peers.
+    pub fn record_ring(&mut self, size: usize) {
+        *self.rings_formed.entry(size).or_insert(0) += 1;
+    }
+
+    /// Records a ring proposal that failed token validation.
+    pub fn record_token_decline(&mut self) {
+        self.token_declines += 1;
+    }
+
+    /// Records the preemption of a non-exchange upload.
+    pub fn record_preemption(&mut self) {
+        self.preemptions += 1;
+    }
+
+    /// Records one peer's total downloaded volume at the end of the run.
+    pub fn record_peer_volume(&mut self, class: PeerClass, downloaded_bytes: u64) {
+        self.volume_per_peer_mb
+            .record(class, downloaded_bytes as f64 / (1024.0 * 1024.0));
+    }
+
+    /// Stamps the virtual duration the run actually covered.
+    pub fn set_sim_seconds(&mut self, seconds: f64) {
+        self.sim_seconds = seconds;
+    }
+
+    // ---- queries (used by figures, examples and tests) ---------------------
+
+    /// Number of peers in the run.
+    #[must_use]
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Virtual seconds the run covered.
+    #[must_use]
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_seconds
+    }
+
+    /// Number of downloads completed across all peers.
+    #[must_use]
+    pub fn completed_downloads(&self) -> u64 {
+        self.completed_downloads
+    }
+
+    /// Mean download time in minutes for a peer class, if any download of
+    /// that class completed.
+    #[must_use]
+    pub fn mean_download_time_min(&self, class: PeerClass) -> Option<f64> {
+        self.download_time_min.mean(&class)
+    }
+
+    /// Download-time statistics per class.
+    #[must_use]
+    pub fn download_time_stats(&self, class: PeerClass) -> Option<&OnlineStats> {
+        self.download_time_min.get(&class)
+    }
+
+    /// Ratio of non-sharing to sharing mean download time (> 1 means sharers
+    /// are better off), if both classes completed downloads.
+    #[must_use]
+    pub fn download_time_ratio(&self) -> Option<f64> {
+        self.download_time_min
+            .ratio(PeerClass::NonSharing, PeerClass::Sharing)
+    }
+
+    /// Fraction of all sessions that were exchange transfers (Figure 5).
+    #[must_use]
+    pub fn exchange_session_fraction(&self) -> f64 {
+        let total: u64 = self.session_counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let exchange: u64 = self
+            .session_counts
+            .iter()
+            .filter(|(k, _)| k.is_exchange())
+            .map(|(_, c)| *c)
+            .sum();
+        exchange as f64 / total as f64
+    }
+
+    /// Number of sessions of each kind.
+    #[must_use]
+    pub fn session_counts(&self) -> &BTreeMap<SessionKind, u64> {
+        &self.session_counts
+    }
+
+    /// Total number of sessions of any kind.
+    #[must_use]
+    pub fn total_sessions(&self) -> u64 {
+        self.session_counts.values().sum()
+    }
+
+    /// Empirical CDF of bytes carried per session of `kind` (Figure 7).
+    #[must_use]
+    pub fn session_bytes_cdf(&self, kind: SessionKind) -> Option<Cdf> {
+        self.session_bytes.get(&kind).map(SampleSet::cdf)
+    }
+
+    /// Mean bytes carried per session of `kind`.
+    #[must_use]
+    pub fn mean_session_bytes(&self, kind: SessionKind) -> Option<f64> {
+        self.session_bytes.get(&kind).map(SampleSet::mean)
+    }
+
+    /// Empirical CDF of waiting times (seconds) per session of `kind`
+    /// (Figure 8).
+    #[must_use]
+    pub fn waiting_cdf(&self, kind: SessionKind) -> Option<Cdf> {
+        self.waiting_secs.get(&kind).map(SampleSet::cdf)
+    }
+
+    /// Mean waiting time in seconds per session of `kind`.
+    #[must_use]
+    pub fn mean_waiting_secs(&self, kind: SessionKind) -> Option<f64> {
+        self.waiting_secs.get(&kind).map(SampleSet::mean)
+    }
+
+    /// The session kinds observed during the run, in deterministic order.
+    #[must_use]
+    pub fn observed_kinds(&self) -> Vec<SessionKind> {
+        self.session_counts.keys().copied().collect()
+    }
+
+    /// Mean downloaded volume per peer of `class`, in megabytes (Figure 10).
+    #[must_use]
+    pub fn mean_volume_per_peer_mb(&self, class: PeerClass) -> Option<f64> {
+        self.volume_per_peer_mb.mean(&class)
+    }
+
+    /// How many rings of each size were activated.
+    #[must_use]
+    pub fn rings_formed(&self) -> &BTreeMap<usize, u64> {
+        &self.rings_formed
+    }
+
+    /// Total number of rings activated.
+    #[must_use]
+    pub fn total_rings(&self) -> u64 {
+        self.rings_formed.values().sum()
+    }
+
+    /// Number of ring proposals rejected during token circulation.
+    #[must_use]
+    pub fn token_declines(&self) -> u64 {
+        self.token_declines
+    }
+
+    /// Number of non-exchange uploads preempted by exchanges.
+    #[must_use]
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_neutral() {
+        let r = SimReport::new(10);
+        assert_eq!(r.peers(), 10);
+        assert_eq!(r.completed_downloads(), 0);
+        assert_eq!(r.exchange_session_fraction(), 0.0);
+        assert!(r.mean_download_time_min(PeerClass::Sharing).is_none());
+        assert!(r.download_time_ratio().is_none());
+        assert_eq!(r.total_sessions(), 0);
+        assert_eq!(r.total_rings(), 0);
+    }
+
+    #[test]
+    fn download_metrics_accumulate() {
+        let mut r = SimReport::new(2);
+        r.record_download(PeerClass::Sharing, 10.0);
+        r.record_download(PeerClass::Sharing, 20.0);
+        r.record_download(PeerClass::NonSharing, 60.0);
+        assert_eq!(r.completed_downloads(), 3);
+        assert_eq!(r.mean_download_time_min(PeerClass::Sharing), Some(15.0));
+        assert_eq!(r.download_time_ratio(), Some(4.0));
+        assert!(r.download_time_stats(PeerClass::Sharing).is_some());
+    }
+
+    #[test]
+    fn session_fraction_counts_exchanges() {
+        let mut r = SimReport::new(2);
+        r.record_session(SessionKind::NonExchange, 100);
+        r.record_session(SessionKind::Exchange { ring_size: 2 }, 200);
+        r.record_session(SessionKind::Exchange { ring_size: 3 }, 300);
+        r.record_session(SessionKind::Exchange { ring_size: 2 }, 400);
+        assert_eq!(r.total_sessions(), 4);
+        assert!((r.exchange_session_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(r.session_counts()[&SessionKind::Exchange { ring_size: 2 }], 2);
+        assert_eq!(r.observed_kinds().len(), 3);
+    }
+
+    #[test]
+    fn cdfs_reflect_recorded_samples() {
+        let mut r = SimReport::new(2);
+        for b in [100.0, 200.0, 300.0] {
+            r.record_session(SessionKind::NonExchange, b as u64);
+        }
+        r.record_waiting(SessionKind::NonExchange, 5.0);
+        r.record_waiting(SessionKind::NonExchange, 15.0);
+        let bytes = r.session_bytes_cdf(SessionKind::NonExchange).unwrap();
+        assert_eq!(bytes.len(), 3);
+        let waits = r.waiting_cdf(SessionKind::NonExchange).unwrap();
+        assert_eq!(waits.len(), 2);
+        assert_eq!(r.mean_waiting_secs(SessionKind::NonExchange), Some(10.0));
+        assert!(r.session_bytes_cdf(SessionKind::Exchange { ring_size: 2 }).is_none());
+        assert_eq!(r.mean_session_bytes(SessionKind::NonExchange), Some(200.0));
+    }
+
+    #[test]
+    fn ring_and_preemption_counters() {
+        let mut r = SimReport::new(2);
+        r.record_ring(2);
+        r.record_ring(2);
+        r.record_ring(4);
+        r.record_token_decline();
+        r.record_preemption();
+        assert_eq!(r.total_rings(), 3);
+        assert_eq!(r.rings_formed()[&2], 2);
+        assert_eq!(r.token_declines(), 1);
+        assert_eq!(r.preemptions(), 1);
+    }
+
+    #[test]
+    fn per_peer_volume_by_class() {
+        let mut r = SimReport::new(2);
+        r.record_peer_volume(PeerClass::Sharing, 100 * 1024 * 1024);
+        r.record_peer_volume(PeerClass::NonSharing, 10 * 1024 * 1024);
+        assert_eq!(r.mean_volume_per_peer_mb(PeerClass::Sharing), Some(100.0));
+        assert_eq!(r.mean_volume_per_peer_mb(PeerClass::NonSharing), Some(10.0));
+        r.set_sim_seconds(3_600.0);
+        assert_eq!(r.sim_seconds(), 3_600.0);
+    }
+}

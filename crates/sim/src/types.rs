@@ -1,0 +1,125 @@
+//! Small shared types of the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a peer contributes uploads to the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PeerClass {
+    /// The peer shares its stored objects and uploads to others.
+    Sharing,
+    /// The peer only downloads ("free-rider").
+    NonSharing,
+}
+
+impl PeerClass {
+    /// The label used in figures ("sharing" / "non-sharing").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PeerClass::Sharing => "sharing",
+            PeerClass::NonSharing => "non-sharing",
+        }
+    }
+}
+
+impl fmt::Display for PeerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The type of a transfer session, used to break down the per-session
+/// statistics of Figures 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// A low-priority transfer that is not part of any exchange.
+    NonExchange,
+    /// A transfer that is part of an exchange ring of the given size
+    /// (2 = pairwise).
+    Exchange {
+        /// Number of peers in the ring this session belongs to.
+        ring_size: usize,
+    },
+}
+
+impl SessionKind {
+    /// Whether this session is part of an exchange.
+    #[must_use]
+    pub fn is_exchange(self) -> bool {
+        matches!(self, SessionKind::Exchange { .. })
+    }
+
+    /// The label used in figures
+    /// (`non-exchange`, `pairwise`, `3-way`, `4-way`, ...).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            SessionKind::NonExchange => "non-exchange".to_string(),
+            SessionKind::Exchange { ring_size: 2 } => "pairwise".to_string(),
+            SessionKind::Exchange { ring_size } => format!("{ring_size}-way"),
+        }
+    }
+}
+
+impl fmt::Display for SessionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Why a transfer session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionEnd {
+    /// The downloader finished assembling the whole object.
+    DownloadComplete,
+    /// Another member of the session's exchange ring finished or dropped out,
+    /// dissolving the ring.
+    RingDissolved,
+    /// A non-exchange upload was preempted because an exchange became
+    /// possible at the uploader.
+    Preempted,
+    /// The uploader no longer stores the object.
+    SourceLostObject,
+    /// The run's horizon was reached while the session was still active.
+    HorizonReached,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(PeerClass::Sharing.label(), "sharing");
+        assert_eq!(PeerClass::NonSharing.to_string(), "non-sharing");
+        assert!(PeerClass::Sharing < PeerClass::NonSharing);
+    }
+
+    #[test]
+    fn session_kind_labels_match_figures() {
+        assert_eq!(SessionKind::NonExchange.label(), "non-exchange");
+        assert_eq!(SessionKind::Exchange { ring_size: 2 }.label(), "pairwise");
+        assert_eq!(SessionKind::Exchange { ring_size: 3 }.label(), "3-way");
+        assert_eq!(SessionKind::Exchange { ring_size: 5 }.to_string(), "5-way");
+    }
+
+    #[test]
+    fn exchange_predicate() {
+        assert!(!SessionKind::NonExchange.is_exchange());
+        assert!(SessionKind::Exchange { ring_size: 2 }.is_exchange());
+    }
+
+    #[test]
+    fn kinds_order_deterministically() {
+        let mut kinds = vec![
+            SessionKind::Exchange { ring_size: 3 },
+            SessionKind::NonExchange,
+            SessionKind::Exchange { ring_size: 2 },
+        ];
+        kinds.sort();
+        assert_eq!(kinds[0], SessionKind::NonExchange);
+        assert_eq!(kinds[1], SessionKind::Exchange { ring_size: 2 });
+    }
+}

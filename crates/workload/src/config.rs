@@ -1,0 +1,157 @@
+//! Workload configuration (the content-related rows of the paper's Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the content catalog and request workload.
+///
+/// Defaults ([`WorkloadConfig::paper_defaults`]) follow Table II of the paper.
+///
+/// # Example
+///
+/// ```
+/// use workload::WorkloadConfig;
+///
+/// let mut config = WorkloadConfig::paper_defaults();
+/// assert_eq!(config.num_categories, 300);
+/// config.object_popularity_factor = 1.0; // Zipf-like
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of content categories in the system.
+    pub num_categories: u32,
+    /// Objects per category are drawn uniformly from this inclusive range.
+    pub objects_per_category: (u32, u32),
+    /// Categories of interest per peer, drawn uniformly from this inclusive range.
+    pub categories_per_peer: (u32, u32),
+    /// Power-law factor of the *category* popularity distribution
+    /// (0 = uniform, 1 = Zipf-like).
+    pub category_popularity_factor: f64,
+    /// Power-law factor of the *object-within-category* popularity distribution.
+    pub object_popularity_factor: f64,
+    /// Size of every object in bytes (the paper uses 20 MB for all objects).
+    pub object_size_bytes: u64,
+    /// Per-peer storage capacity in number of objects, drawn uniformly from
+    /// this inclusive range.
+    pub storage_capacity_objects: (u32, u32),
+}
+
+impl WorkloadConfig {
+    /// The content parameters of Table II in the paper.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        WorkloadConfig {
+            num_categories: 300,
+            objects_per_category: (1, 300),
+            categories_per_peer: (1, 8),
+            category_popularity_factor: 0.2,
+            object_popularity_factor: 0.2,
+            object_size_bytes: 20 * 1024 * 1024,
+            storage_capacity_objects: (5, 40),
+        }
+    }
+
+    /// A much smaller catalog, useful for unit tests and fast examples.
+    #[must_use]
+    pub fn small() -> Self {
+        WorkloadConfig {
+            num_categories: 20,
+            objects_per_category: (1, 20),
+            categories_per_peer: (1, 4),
+            category_popularity_factor: 0.2,
+            object_popularity_factor: 0.2,
+            object_size_bytes: 4 * 1024 * 1024,
+            storage_capacity_objects: (3, 10),
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_categories == 0 {
+            return Err("num_categories must be positive".into());
+        }
+        for (name, (lo, hi)) in [
+            ("objects_per_category", self.objects_per_category),
+            ("categories_per_peer", self.categories_per_peer),
+            ("storage_capacity_objects", self.storage_capacity_objects),
+        ] {
+            if lo == 0 || lo > hi {
+                return Err(format!("{name} range ({lo}, {hi}) must satisfy 1 <= lo <= hi"));
+            }
+        }
+        if self.categories_per_peer.1 > self.num_categories {
+            return Err(format!(
+                "categories_per_peer upper bound {} exceeds num_categories {}",
+                self.categories_per_peer.1, self.num_categories
+            ));
+        }
+        for (name, f) in [
+            ("category_popularity_factor", self.category_popularity_factor),
+            ("object_popularity_factor", self.object_popularity_factor),
+        ] {
+            if !f.is_finite() || f < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {f}"));
+            }
+        }
+        if self.object_size_bytes == 0 {
+            return Err("object_size_bytes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let c = WorkloadConfig::paper_defaults();
+        assert_eq!(c.num_categories, 300);
+        assert_eq!(c.objects_per_category, (1, 300));
+        assert_eq!(c.categories_per_peer, (1, 8));
+        assert_eq!(c.category_popularity_factor, 0.2);
+        assert_eq!(c.object_popularity_factor, 0.2);
+        assert_eq!(c.object_size_bytes, 20 * 1024 * 1024);
+        assert_eq!(c.storage_capacity_objects, (5, 40));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(WorkloadConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let mut c = WorkloadConfig::paper_defaults();
+        c.objects_per_category = (10, 5);
+        assert!(c.validate().is_err());
+
+        let mut c = WorkloadConfig::paper_defaults();
+        c.categories_per_peer = (1, 500);
+        assert!(c.validate().is_err());
+
+        let mut c = WorkloadConfig::paper_defaults();
+        c.num_categories = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = WorkloadConfig::paper_defaults();
+        c.object_popularity_factor = -0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = WorkloadConfig::paper_defaults();
+        c.object_size_bytes = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Identifier newtypes shared across the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, convenient for indexing vectors.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a peer (node) in the file-sharing system.
+    PeerId,
+    "P"
+);
+
+id_type!(
+    /// Identifies a shared object (file).
+    ObjectId,
+    "o"
+);
+
+id_type!(
+    /// Identifies a content category.
+    CategoryId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_raw_index() {
+        let p = PeerId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.as_usize(), 7);
+        assert_eq!(u32::from(p), 7);
+        assert_eq!(PeerId::from(7u32), p);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(PeerId::new(3).to_string(), "P3");
+        assert_eq!(ObjectId::new(5).to_string(), "o5");
+        assert_eq!(CategoryId::new(1).to_string(), "c1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+        let set: HashSet<PeerId> = [PeerId::new(1), PeerId::new(1), PeerId::new(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn different_id_types_are_distinct_types() {
+        // This is a compile-time property; the test documents the intent.
+        fn takes_peer(_p: PeerId) {}
+        takes_peer(PeerId::new(0));
+    }
+}

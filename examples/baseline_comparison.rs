@@ -1,0 +1,56 @@
+//! Exchange incentives vs. the credit-style baselines of Section II.
+//!
+//! Runs the same workload under (a) no incentive, (b) eMule-style pairwise
+//! credit, (c) BitTorrent-style tit-for-tat and (d) the paper's 2-5-way
+//! exchange discipline, and compares how well each rewards sharing peers.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use p2p_exchange::exchange::ExchangePolicy;
+use p2p_exchange::metrics::Table;
+use p2p_exchange::sim::{FallbackOrder, PeerClass, SimConfig, Simulation};
+
+fn main() {
+    let mut base = SimConfig::quick_test();
+    base.num_peers = 60;
+    base.sim_duration_s = 8_000.0;
+    base.max_pending_objects = 6;
+    base.link.upload_kbps = 40.0;
+
+    // (label, discipline, fallback ordering of non-exchange requests)
+    let setups = [
+        ("fifo (no incentive)", ExchangePolicy::NoExchange, FallbackOrder::Fifo),
+        ("emule credit", ExchangePolicy::NoExchange, FallbackOrder::EmuleCredit),
+        ("tit-for-tat", ExchangePolicy::NoExchange, FallbackOrder::TitForTat),
+        ("2-5-way exchange", ExchangePolicy::two_five_way(), FallbackOrder::Fifo),
+    ];
+
+    let mut table = Table::new(vec![
+        "incentive mechanism",
+        "sharing (min)",
+        "non-sharing (min)",
+        "non-sharing / sharing",
+    ]);
+    for (label, discipline, fallback) in setups {
+        let mut config = base.clone();
+        config.discipline = discipline;
+        config.fallback = fallback;
+        let report = Simulation::new(config, 55).run();
+        let sharing = report.mean_download_time_min(PeerClass::Sharing);
+        let non_sharing = report.mean_download_time_min(PeerClass::NonSharing);
+        let ratio = report.download_time_ratio();
+        table.add_row(vec![
+            label.to_string(),
+            sharing.map_or("n/a".into(), |v| format!("{v:.1}")),
+            non_sharing.map_or("n/a".into(), |v| format!("{v:.1}")),
+            ratio.map_or("n/a".into(), |v| format!("{v:.2}")),
+        ]);
+    }
+    println!("Incentive mechanisms compared ({} peers, 40 kbit/s upload, seed 55)\n", base.num_peers);
+    println!("{table}");
+    println!("The exchange discipline rewards sharing peers directly with simultaneous");
+    println!("transfers; the credit baselines only modulate queueing order, which the paper");
+    println!("argues (Section II) provides much weaker differentiation.");
+}

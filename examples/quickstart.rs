@@ -1,0 +1,61 @@
+//! Quickstart: run one small exchange-enabled simulation and print the
+//! headline numbers the paper is about — how much better sharing peers do
+//! than free-riders.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use p2p_exchange::metrics::Table;
+use p2p_exchange::sim::{ExchangeDiscipline, PeerClass, SimConfig, Simulation};
+
+fn main() {
+    // A scaled-down system (the paper's Table II uses 200 peers and 20 MB
+    // objects; this example uses the quick-test profile so it finishes in
+    // seconds).  Swap in `SimConfig::paper_defaults()` for the full setup.
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 60;
+    config.sim_duration_s = 6_000.0;
+
+    let mut table = Table::new(vec![
+        "discipline",
+        "sharing (min)",
+        "non-sharing (min)",
+        "ratio",
+        "exchange sessions",
+        "rings",
+    ]);
+
+    for discipline in [
+        ExchangeDiscipline::NoExchange,
+        ExchangeDiscipline::Pairwise,
+        ExchangeDiscipline::five_two_way(),
+        ExchangeDiscipline::two_five_way(),
+    ] {
+        let mut run_config = config.clone();
+        run_config.discipline = discipline;
+        let report = Simulation::new(run_config, 42).run();
+
+        let sharing = report
+            .mean_download_time_min(PeerClass::Sharing)
+            .unwrap_or(f64::NAN);
+        let non_sharing = report
+            .mean_download_time_min(PeerClass::NonSharing)
+            .unwrap_or(f64::NAN);
+        table.add_row(vec![
+            discipline.label(),
+            format!("{sharing:.1}"),
+            format!("{non_sharing:.1}"),
+            format!("{:.2}", non_sharing / sharing),
+            format!("{:.0}%", report.exchange_session_fraction() * 100.0),
+            report.total_rings().to_string(),
+        ]);
+    }
+
+    println!("Mean object download time by peer class ({} peers, seed 42)\n", config.num_peers);
+    println!("{table}");
+    println!("A ratio above 1 means free-riders wait longer than sharing peers —");
+    println!("the incentive the exchange mechanism is designed to create.");
+}
