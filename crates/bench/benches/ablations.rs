@@ -1,8 +1,9 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
-//! preemption on/off, ring-search fanout, and the baseline fallback orders.
+//! preemption on/off, ring-search fanout, and the pluggable upload
+//! schedulers behind the unified `UploadScheduler` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sim::{FallbackOrder, SimConfig, Simulation};
+use sim::{SchedulerKind, SimConfig, Simulation};
 
 fn bench_config() -> SimConfig {
     let mut config = SimConfig::quick_test();
@@ -45,24 +46,29 @@ fn bench_search_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fallback_orders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_fallback_order");
+fn bench_upload_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_upload_scheduler");
     group.sample_size(10);
-    for (label, fallback) in [
-        ("fifo", FallbackOrder::Fifo),
-        ("emule", FallbackOrder::EmuleCredit),
-        ("tit_for_tat", FallbackOrder::TitForTat),
-    ] {
-        group.bench_with_input(BenchmarkId::new("order", label), &fallback, |b, fallback| {
-            b.iter(|| {
-                let mut config = bench_config();
-                config.fallback = *fallback;
-                Simulation::new(config, 11).run()
-            });
-        });
+    for kind in SchedulerKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("scheduler", kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut config = bench_config();
+                    config.scheduler = *kind;
+                    Simulation::new(config, 11).run()
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_preemption, bench_search_fanout, bench_fallback_orders);
+criterion_group!(
+    benches,
+    bench_preemption,
+    bench_search_fanout,
+    bench_upload_schedulers
+);
 criterion_main!(benches);

@@ -23,12 +23,16 @@ fn bench_summary_build(c: &mut Criterion) {
     group.sample_size(30);
     for &edges in &[1_200usize, 6_000] {
         let graph = random_graph(200, edges, 17);
-        group.bench_with_input(BenchmarkId::new("bloom_build", edges), &graph, |b, graph| {
-            b.iter(|| BloomRingIndex::build(graph, 0, 4))
-        });
-        group.bench_with_input(BenchmarkId::new("exact_build", edges), &graph, |b, graph| {
-            b.iter(|| RequestTree::build(graph, 0, 4))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bloom_build", edges),
+            &graph,
+            |b, graph| b.iter(|| BloomRingIndex::build(graph, 0, 4)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_build", edges),
+            &graph,
+            |b, graph| b.iter(|| RequestTree::build(graph, 0, 4)),
+        );
     }
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! Figure 10: per-peer transfer volume vs. the popularity factor f.
 
-use bench_support::{print_figure_header, FigureOptions};
+use bench_support::{fmt_aggregate, print_figure_header, FigureOptions};
 use exchange::ExchangePolicy;
 use metrics::Table;
-use sim::experiment::popularity_sweep;
+use sim::experiment::popularity_scenario;
+use sim::PeerClass;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -16,9 +17,10 @@ fn main() {
 
     let factors = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let policies = ExchangePolicy::paper_set();
-    let points = popularity_sweep(&base, &policies, &factors, options.seed);
+    let grid = popularity_scenario(&base, &policies, &factors)
+        .seeds(options.seed_range())
+        .run();
 
-    let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.0}"));
     let mut table = Table::new(vec![
         "f",
         "no-exchange",
@@ -30,28 +32,36 @@ fn main() {
         "2-5-way/non-sharing",
     ]);
     for &f in &factors {
-        let at = |policy: &ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.factor == f && p.policy == *policy)
-                .expect("sweep covers every (factor, policy) pair")
+        let factor_label = format!("{f}");
+        let volume = |policy: &ExchangePolicy, class: PeerClass| {
+            grid.aggregate_where(
+                &[
+                    ("popularity_factor", factor_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| r.mean_volume_per_peer_mb(class),
+            )
         };
-        let none = at(&ExchangePolicy::NoExchange);
-        let pairwise = at(&ExchangePolicy::Pairwise);
-        let longer = at(&ExchangePolicy::five_two_way());
-        let shorter = at(&ExchangePolicy::two_five_way());
+        let none = &ExchangePolicy::NoExchange;
+        let pairwise = &ExchangePolicy::Pairwise;
+        let longer = &ExchangePolicy::five_two_way();
+        let shorter = &ExchangePolicy::two_five_way();
         table.add_row(vec![
             format!("{f:.1}"),
-            fmt(none.sharing_volume_mb.or(none.non_sharing_volume_mb)),
-            fmt(pairwise.sharing_volume_mb),
-            fmt(pairwise.non_sharing_volume_mb),
-            fmt(longer.sharing_volume_mb),
-            fmt(longer.non_sharing_volume_mb),
-            fmt(shorter.sharing_volume_mb),
-            fmt(shorter.non_sharing_volume_mb),
+            fmt_aggregate(
+                volume(none, PeerClass::Sharing).or_else(|| volume(none, PeerClass::NonSharing)),
+                0,
+            ),
+            fmt_aggregate(volume(pairwise, PeerClass::Sharing), 0),
+            fmt_aggregate(volume(pairwise, PeerClass::NonSharing), 0),
+            fmt_aggregate(volume(longer, PeerClass::Sharing), 0),
+            fmt_aggregate(volume(longer, PeerClass::NonSharing), 0),
+            fmt_aggregate(volume(shorter, PeerClass::Sharing), 0),
+            fmt_aggregate(volume(shorter, PeerClass::NonSharing), 0),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: sharing users move substantially more data than non-sharing users");
     println!("under exchange disciplines; the two ring orderings have similar volumes.");
 }

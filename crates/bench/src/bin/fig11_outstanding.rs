@@ -4,7 +4,8 @@
 
 use bench_support::{fmt_ratio, print_figure_header, FigureOptions};
 use metrics::Table;
-use sim::experiment::outstanding_sweep;
+use sim::experiment::outstanding_scenario;
+use sim::SimReport;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -17,7 +18,9 @@ fn main() {
 
     let outstanding = [2usize, 4, 6, 8, 10];
     let categories = [2u32, 4, 8];
-    let points = outstanding_sweep(&base, &outstanding, &categories, options.seed);
+    let grid = outstanding_scenario(&base, &outstanding, &categories)
+        .seeds(options.seed_range())
+        .run();
 
     let mut table = Table::new(vec![
         "max outstanding",
@@ -26,20 +29,25 @@ fn main() {
         "8 cat/peer",
     ]);
     for &m in &outstanding {
-        let at = |cats: u32| {
-            points
-                .iter()
-                .find(|p| p.max_outstanding == m && p.categories_per_peer == cats)
-                .and_then(|p| p.ratio)
+        let pending_label = m.to_string();
+        let ratio = |cats: u32| {
+            grid.aggregate_where(
+                &[
+                    ("categories_per_peer", cats.to_string().as_str()),
+                    ("max_pending", pending_label.as_str()),
+                ],
+                SimReport::download_time_ratio,
+            )
         };
         table.add_row(vec![
             m.to_string(),
-            fmt_ratio(at(2)),
-            fmt_ratio(at(4)),
-            fmt_ratio(at(8)),
+            fmt_ratio(ratio(2)),
+            fmt_ratio(ratio(4)),
+            fmt_ratio(ratio(8)),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: the sharing users' advantage grows with the number of outstanding");
     println!("requests up to a point, then levels off; more categories per peer generally");
     println!("increases the chance of finding a feasible exchange.");

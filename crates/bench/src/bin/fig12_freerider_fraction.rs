@@ -3,7 +3,8 @@
 use bench_support::{fmt_minutes, print_figure_header, FigureOptions};
 use exchange::ExchangePolicy;
 use metrics::Table;
-use sim::experiment::freerider_sweep;
+use sim::experiment::freerider_scenario;
+use sim::PeerClass;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -16,7 +17,9 @@ fn main() {
 
     let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
     let policies = ExchangePolicy::paper_set();
-    let points = freerider_sweep(&base, &policies, &fractions, options.seed);
+    let grid = freerider_scenario(&base, &policies, &fractions)
+        .seeds(options.seed_range())
+        .run();
 
     let mut table = Table::new(vec![
         "non-sharing fraction",
@@ -29,28 +32,35 @@ fn main() {
         "2-5-way/non-sharing",
     ]);
     for &fraction in &fractions {
-        let at = |policy: &ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.freerider_fraction == fraction && p.policy == *policy)
-                .expect("sweep covers every (fraction, policy) pair")
+        let fraction_label = format!("{fraction}");
+        let mean = |policy: &ExchangePolicy, class: PeerClass| {
+            grid.aggregate_where(
+                &[
+                    ("freerider_fraction", fraction_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| r.mean_download_time_min(class),
+            )
         };
-        let none = at(&ExchangePolicy::NoExchange);
-        let pairwise = at(&ExchangePolicy::Pairwise);
-        let longer = at(&ExchangePolicy::five_two_way());
-        let shorter = at(&ExchangePolicy::two_five_way());
+        let none = &ExchangePolicy::NoExchange;
+        let pairwise = &ExchangePolicy::Pairwise;
+        let longer = &ExchangePolicy::five_two_way();
+        let shorter = &ExchangePolicy::two_five_way();
         table.add_row(vec![
             format!("{fraction:.1}"),
-            fmt_minutes(none.sharing_min.or(none.non_sharing_min)),
-            fmt_minutes(pairwise.sharing_min),
-            fmt_minutes(pairwise.non_sharing_min),
-            fmt_minutes(longer.sharing_min),
-            fmt_minutes(longer.non_sharing_min),
-            fmt_minutes(shorter.sharing_min),
-            fmt_minutes(shorter.non_sharing_min),
+            fmt_minutes(
+                mean(none, PeerClass::Sharing).or_else(|| mean(none, PeerClass::NonSharing)),
+            ),
+            fmt_minutes(mean(pairwise, PeerClass::Sharing)),
+            fmt_minutes(mean(pairwise, PeerClass::NonSharing)),
+            fmt_minutes(mean(longer, PeerClass::Sharing)),
+            fmt_minutes(mean(longer, PeerClass::NonSharing)),
+            fmt_minutes(mean(shorter, PeerClass::Sharing)),
+            fmt_minutes(mean(shorter, PeerClass::NonSharing)),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: the gap between sharing and non-sharing users persists across the");
     println!("whole range of free-rider fractions; with few sharers, the rare sharer gets a");
     println!("large reward, and with few free-riders, the free-riders pay a large penalty.");

@@ -4,7 +4,8 @@
 use bench_support::{fmt_minutes, print_figure_header, FigureOptions};
 use exchange::ExchangePolicy;
 use metrics::Table;
-use sim::experiment::capacity_sweep;
+use sim::experiment::capacity_scenario;
+use sim::PeerClass;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -17,7 +18,9 @@ fn main() {
 
     let capacities = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0];
     let policies = ExchangePolicy::paper_set();
-    let points = capacity_sweep(&base, &policies, &capacities, options.seed);
+    let grid = capacity_scenario(&base, &policies, &capacities)
+        .seeds(options.seed_range())
+        .run();
 
     let mut table = Table::new(vec![
         "upload kbit/s",
@@ -30,28 +33,35 @@ fn main() {
         "2-5-way/non-sharing",
     ]);
     for &capacity in &capacities {
-        let at = |policy: &ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.upload_kbps == capacity && p.policy == *policy)
-                .expect("sweep covers every (capacity, policy) pair")
+        let capacity_label = format!("{capacity}");
+        let mean = |policy: &ExchangePolicy, class: PeerClass| {
+            grid.aggregate_where(
+                &[
+                    ("upload_kbps", capacity_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| r.mean_download_time_min(class),
+            )
         };
-        let none = at(&ExchangePolicy::NoExchange);
-        let pairwise = at(&ExchangePolicy::Pairwise);
-        let longer = at(&ExchangePolicy::five_two_way());
-        let shorter = at(&ExchangePolicy::two_five_way());
+        let none = &ExchangePolicy::NoExchange;
+        let pairwise = &ExchangePolicy::Pairwise;
+        let longer = &ExchangePolicy::five_two_way();
+        let shorter = &ExchangePolicy::two_five_way();
         table.add_row(vec![
             format!("{capacity:.0}"),
-            fmt_minutes(none.sharing_min.or(none.non_sharing_min)),
-            fmt_minutes(pairwise.sharing_min),
-            fmt_minutes(pairwise.non_sharing_min),
-            fmt_minutes(longer.sharing_min),
-            fmt_minutes(longer.non_sharing_min),
-            fmt_minutes(shorter.sharing_min),
-            fmt_minutes(shorter.non_sharing_min),
+            fmt_minutes(
+                mean(none, PeerClass::Sharing).or_else(|| mean(none, PeerClass::NonSharing)),
+            ),
+            fmt_minutes(mean(pairwise, PeerClass::Sharing)),
+            fmt_minutes(mean(pairwise, PeerClass::NonSharing)),
+            fmt_minutes(mean(longer, PeerClass::Sharing)),
+            fmt_minutes(mean(longer, PeerClass::NonSharing)),
+            fmt_minutes(mean(shorter, PeerClass::Sharing)),
+            fmt_minutes(mean(shorter, PeerClass::NonSharing)),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: download times grow as capacity shrinks; the sharing/non-sharing");
     println!("gap widens with load, and exchange disciplines beat no-exchange for sharers.");
 }

@@ -1,9 +1,9 @@
 //! Figure 5: fraction of exchange transfers vs. upload capacity.
 
-use bench_support::{print_figure_header, FigureOptions};
+use bench_support::{fmt_aggregate, print_figure_header, FigureOptions};
 use exchange::ExchangePolicy;
 use metrics::Table;
-use sim::experiment::capacity_sweep;
+use sim::experiment::capacity_scenario;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -20,24 +20,31 @@ fn main() {
         ExchangePolicy::five_two_way(),
         ExchangePolicy::two_five_way(),
     ];
-    let points = capacity_sweep(&base, &policies, &capacities, options.seed);
+    let grid = capacity_scenario(&base, &policies, &capacities)
+        .seeds(options.seed_range())
+        .run();
 
     let mut table = Table::new(vec!["upload kbit/s", "pairwise", "5-2-way", "2-5-way"]);
     for &capacity in &capacities {
+        let capacity_label = format!("{capacity}");
         let frac = |policy: &ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.upload_kbps == capacity && p.policy == *policy)
-                .map_or(0.0, |p| p.exchange_fraction)
+            grid.aggregate_where(
+                &[
+                    ("upload_kbps", capacity_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| Some(r.exchange_session_fraction()),
+            )
         };
         table.add_row(vec![
             format!("{capacity:.0}"),
-            format!("{:.2}", frac(&ExchangePolicy::Pairwise)),
-            format!("{:.2}", frac(&ExchangePolicy::five_two_way())),
-            format!("{:.2}", frac(&ExchangePolicy::two_five_way())),
+            fmt_aggregate(frac(&ExchangePolicy::Pairwise), 2),
+            fmt_aggregate(frac(&ExchangePolicy::five_two_way()), 2),
+            fmt_aggregate(frac(&ExchangePolicy::two_five_way()), 2),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: the exchange fraction rises as the system gets more loaded");
     println!("(smaller upload capacity), with pairwise slightly below the ring policies.");
 }

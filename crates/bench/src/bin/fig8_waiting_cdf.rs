@@ -18,7 +18,11 @@ fn main() {
     let kinds = figure_session_kinds(5);
     let fractions = [0.1, 0.25, 0.5, 0.75, 0.9];
 
-    let mut headers = vec!["session type".to_string(), "sessions".to_string(), "mean min".to_string()];
+    let mut headers = vec![
+        "session type".to_string(),
+        "sessions".to_string(),
+        "mean min".to_string(),
+    ];
     headers.extend(fractions.iter().map(|f| format!("p{:.0} min", f * 100.0)));
     let mut table = Table::new(headers);
 

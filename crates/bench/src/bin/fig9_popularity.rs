@@ -3,7 +3,8 @@
 use bench_support::{fmt_minutes, print_figure_header, FigureOptions};
 use exchange::ExchangePolicy;
 use metrics::Table;
-use sim::experiment::popularity_sweep;
+use sim::experiment::popularity_scenario;
+use sim::PeerClass;
 
 fn main() {
     let options = FigureOptions::from_env();
@@ -16,7 +17,9 @@ fn main() {
 
     let factors = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let policies = ExchangePolicy::paper_set();
-    let points = popularity_sweep(&base, &policies, &factors, options.seed);
+    let grid = popularity_scenario(&base, &policies, &factors)
+        .seeds(options.seed_range())
+        .run();
 
     let mut table = Table::new(vec![
         "f",
@@ -29,28 +32,35 @@ fn main() {
         "2-5-way/non-sharing",
     ]);
     for &f in &factors {
-        let at = |policy: &ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.factor == f && p.policy == *policy)
-                .expect("sweep covers every (factor, policy) pair")
+        let factor_label = format!("{f}");
+        let mean = |policy: &ExchangePolicy, class: PeerClass| {
+            grid.aggregate_where(
+                &[
+                    ("popularity_factor", factor_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| r.mean_download_time_min(class),
+            )
         };
-        let none = at(&ExchangePolicy::NoExchange);
-        let pairwise = at(&ExchangePolicy::Pairwise);
-        let longer = at(&ExchangePolicy::five_two_way());
-        let shorter = at(&ExchangePolicy::two_five_way());
+        let none = &ExchangePolicy::NoExchange;
+        let pairwise = &ExchangePolicy::Pairwise;
+        let longer = &ExchangePolicy::five_two_way();
+        let shorter = &ExchangePolicy::two_five_way();
         table.add_row(vec![
             format!("{f:.1}"),
-            fmt_minutes(none.sharing_min.or(none.non_sharing_min)),
-            fmt_minutes(pairwise.sharing_min),
-            fmt_minutes(pairwise.non_sharing_min),
-            fmt_minutes(longer.sharing_min),
-            fmt_minutes(longer.non_sharing_min),
-            fmt_minutes(shorter.sharing_min),
-            fmt_minutes(shorter.non_sharing_min),
+            fmt_minutes(
+                mean(none, PeerClass::Sharing).or_else(|| mean(none, PeerClass::NonSharing)),
+            ),
+            fmt_minutes(mean(pairwise, PeerClass::Sharing)),
+            fmt_minutes(mean(pairwise, PeerClass::NonSharing)),
+            fmt_minutes(mean(longer, PeerClass::Sharing)),
+            fmt_minutes(mean(longer, PeerClass::NonSharing)),
+            fmt_minutes(mean(shorter, PeerClass::Sharing)),
+            fmt_minutes(mean(shorter, PeerClass::NonSharing)),
         ]);
     }
     println!("{table}");
+    println!("Values are mean±95% CI over {} seeds.", options.seeds);
     println!("Paper shape: the sharing/non-sharing gap widens as popularity becomes more");
     println!("skewed (f → 1), and is still visible for nearly uniform popularity.");
 }

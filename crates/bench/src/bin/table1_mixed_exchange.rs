@@ -9,10 +9,30 @@ fn main() {
 
     // The exact scenario of Table I.
     let specs = vec![
-        PeerSpec { peer: "A", upload_capacity: 10.0, has: vec![], wants: vec!['x'] },
-        PeerSpec { peer: "B", upload_capacity: 5.0, has: vec!['x'], wants: vec!['y'] },
-        PeerSpec { peer: "C", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
-        PeerSpec { peer: "D", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
+        PeerSpec {
+            peer: "A",
+            upload_capacity: 10.0,
+            has: vec![],
+            wants: vec!['x'],
+        },
+        PeerSpec {
+            peer: "B",
+            upload_capacity: 5.0,
+            has: vec!['x'],
+            wants: vec!['y'],
+        },
+        PeerSpec {
+            peer: "C",
+            upload_capacity: 10.0,
+            has: vec!['y'],
+            wants: vec!['x'],
+        },
+        PeerSpec {
+            peer: "D",
+            upload_capacity: 10.0,
+            has: vec!['y'],
+            wants: vec!['x'],
+        },
     ];
 
     let mut scenario = Table::new(vec!["peer", "upload", "has", "wants"]);
@@ -20,7 +40,11 @@ fn main() {
         scenario.add_row(vec![
             s.peer.to_string(),
             format!("{:.0}", s.upload_capacity),
-            if s.has.is_empty() { "-".into() } else { s.has.iter().collect() },
+            if s.has.is_empty() {
+                "-".into()
+            } else {
+                s.has.iter().collect()
+            },
             s.wants.iter().collect(),
         ]);
     }

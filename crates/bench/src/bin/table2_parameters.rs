@@ -9,7 +9,11 @@ fn main() {
 
     let mut table = Table::new(vec!["parameter", "paper", "this reproduction"]);
     let rows: Vec<(&str, String, String)> = vec![
-        ("number of peers", "200".into(), config.num_peers.to_string()),
+        (
+            "number of peers",
+            "200".into(),
+            config.num_peers.to_string(),
+        ),
         (
             "download capacity",
             "800 kbit/s".into(),
@@ -84,6 +88,16 @@ fn main() {
             "fraction of freeloaders",
             "50%".into(),
             format!("{:.0}%", config.freerider_fraction * 100.0),
+        ),
+        (
+            "exchange discipline",
+            "2-5-way".into(),
+            config.discipline.label(),
+        ),
+        (
+            "non-exchange scheduler",
+            "FCFS".into(),
+            config.scheduler.label().to_string(),
         ),
     ];
     for (name, paper, ours) in rows {

@@ -1,13 +1,16 @@
 //! Shared support code for the figure-regeneration binaries and benches.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the paper.
-//! They all accept:
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! by running a [`sim::Scenario`] sweep.  They all accept:
 //!
 //! * `--scale <f>` — multiply the simulated duration (and warm-up) by `f`
 //!   (default 0.25; `1.0` reproduces the full-length runs recorded in
 //!   EXPERIMENTS.md, `0.05` gives a quick smoke run).
 //! * `--peers <n>` — override the number of peers (default 200, Table II).
-//! * `--seed <s>` — the deterministic seed (default 1).
+//! * `--seed <s>` — the first deterministic seed (default 1).
+//! * `--seeds <n>` — how many consecutive seeds to run per grid point
+//!   (default 3); points are aggregated as mean ± 95% CI over the seeds and
+//!   executed in parallel by the scenario engine.
 //!
 //! The binaries print the same rows/series the paper reports, using
 //! [`metrics::Table`].
@@ -15,7 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use sim::SimConfig;
+use sim::{Aggregate, SimConfig};
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,8 +27,10 @@ pub struct FigureOptions {
     pub scale: f64,
     /// Number of peers in the simulated system.
     pub peers: usize,
-    /// Deterministic seed.
+    /// First deterministic seed.
     pub seed: u64,
+    /// Number of consecutive seeds per grid point.
+    pub seeds: u64,
     /// Object size in MiB (Table II uses 20; smaller objects shrink the
     /// system's time constant so that scaled-down runs still reach steady
     /// state — see EXPERIMENTS.md).
@@ -38,15 +43,16 @@ impl Default for FigureOptions {
             scale: 0.25,
             peers: 200,
             seed: 1,
+            seeds: 3,
             object_mb: 20,
         }
     }
 }
 
 impl FigureOptions {
-    /// Parses `--scale`, `--peers` and `--seed` from an argument iterator
-    /// (unknown arguments are ignored so that `cargo bench`-style extra
-    /// arguments do not break the binaries).
+    /// Parses `--scale`, `--peers`, `--seed`, `--seeds` and `--object-mb`
+    /// from an argument iterator (unknown arguments are ignored so that
+    /// `cargo bench`-style extra arguments do not break the binaries).
     #[must_use]
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut options = FigureOptions::default();
@@ -74,6 +80,14 @@ impl FigureOptions {
                 ("--seed", Some(v)) => {
                     if let Ok(s) = v.parse::<u64>() {
                         options.seed = s;
+                    }
+                    i += 1;
+                }
+                ("--seeds", Some(v)) => {
+                    if let Ok(n) = v.parse::<u64>() {
+                        if n >= 1 {
+                            options.seeds = n;
+                        }
                     }
                     i += 1;
                 }
@@ -107,22 +121,33 @@ impl FigureOptions {
         config.workload.object_size_bytes = self.object_mb * 1024 * 1024;
         config
     }
-}
 
-/// Formats an optional mean (in minutes) for table output.
-#[must_use]
-pub fn fmt_minutes(value: Option<f64>) -> String {
-    match value {
-        Some(v) => format!("{v:.1}"),
-        None => "n/a".to_string(),
+    /// The seed range scenarios run under: `seed, seed+1, ..`.
+    #[must_use]
+    pub fn seed_range(&self) -> std::ops::Range<u64> {
+        self.seed..self.seed + self.seeds
     }
 }
 
-/// Formats an optional ratio.
+/// Formats an optional aggregated mean (in minutes) for table output.
 #[must_use]
-pub fn fmt_ratio(value: Option<f64>) -> String {
+pub fn fmt_minutes(value: Option<Aggregate>) -> String {
+    fmt_aggregate(value, 1)
+}
+
+/// Formats an optional aggregated ratio.
+#[must_use]
+pub fn fmt_ratio(value: Option<Aggregate>) -> String {
+    fmt_aggregate(value, 2)
+}
+
+/// Formats an aggregate as `mean±ci` (the CI half-width is omitted when a
+/// single seed ran), or `n/a` when no seed reported the metric.
+#[must_use]
+pub fn fmt_aggregate(value: Option<Aggregate>, precision: usize) -> String {
     match value {
-        Some(v) => format!("{v:.2}"),
+        Some(a) if a.n > 1 => format!("{:.precision$}±{:.precision$}", a.mean, a.ci95),
+        Some(a) => format!("{:.precision$}", a.mean),
         None => "n/a".to_string(),
     }
 }
@@ -131,11 +156,12 @@ pub fn fmt_ratio(value: Option<f64>) -> String {
 pub fn print_figure_header(title: &str, options: &FigureOptions, config: &SimConfig) {
     println!("{title}");
     println!(
-        "{} peers, {:.1}h simulated ({:.1}h warm-up), seed {}, scale {}",
+        "{} peers, {:.1}h simulated ({:.1}h warm-up), seeds {}..{}, scale {}",
         config.num_peers,
         config.sim_duration_s / 3600.0,
         config.warmup_s / 3600.0,
         options.seed,
+        options.seed + options.seeds,
         options.scale
     );
     println!();
@@ -153,22 +179,39 @@ mod tests {
     fn defaults_when_no_args() {
         let options = parse(&[]);
         assert_eq!(options, FigureOptions::default());
+        assert_eq!(options.seed_range(), 1..4);
     }
 
     #[test]
     fn parses_known_flags() {
-        let options = parse(&["--scale", "0.5", "--peers", "100", "--seed", "7", "--object-mb", "5"]);
+        let options = parse(&[
+            "--scale",
+            "0.5",
+            "--peers",
+            "100",
+            "--seed",
+            "7",
+            "--seeds",
+            "5",
+            "--object-mb",
+            "5",
+        ]);
         assert_eq!(options.scale, 0.5);
         assert_eq!(options.peers, 100);
         assert_eq!(options.seed, 7);
+        assert_eq!(options.seeds, 5);
         assert_eq!(options.object_mb, 5);
+        assert_eq!(options.seed_range(), 7..12);
     }
 
     #[test]
     fn ignores_unknown_and_invalid_flags() {
-        let options = parse(&["--bench", "--scale", "abc", "--peers", "1", "extra"]);
+        let options = parse(&[
+            "--bench", "--scale", "abc", "--peers", "1", "--seeds", "0", "extra",
+        ]);
         assert_eq!(options.scale, FigureOptions::default().scale);
         assert_eq!(options.peers, FigureOptions::default().peers);
+        assert_eq!(options.seeds, FigureOptions::default().seeds);
     }
 
     #[test]
@@ -183,9 +226,20 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_minutes(Some(12.34)), "12.3");
+        let single = Aggregate {
+            mean: 12.34,
+            ci95: 0.0,
+            n: 1,
+        };
+        let multi = Aggregate {
+            mean: 12.34,
+            ci95: 1.27,
+            n: 3,
+        };
+        assert_eq!(fmt_minutes(Some(single)), "12.3");
+        assert_eq!(fmt_minutes(Some(multi)), "12.3±1.3");
         assert_eq!(fmt_minutes(None), "n/a");
-        assert_eq!(fmt_ratio(Some(1.234)), "1.23");
+        assert_eq!(fmt_ratio(Some(multi)), "12.34±1.27");
         assert_eq!(fmt_ratio(None), "n/a");
     }
 }

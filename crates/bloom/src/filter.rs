@@ -280,7 +280,10 @@ mod tests {
         }
         let false_positives = (10_000u64..20_000).filter(|i| f.contains(i)).count();
         let rate = false_positives as f64 / 10_000.0;
-        assert!(rate < 0.05, "observed fp rate {rate} too high for 1% target");
+        assert!(
+            rate < 0.05,
+            "observed fp rate {rate} too high for 1% target"
+        );
     }
 
     #[test]
@@ -335,7 +338,10 @@ mod tests {
 
     #[test]
     fn byte_size_matches_bits() {
-        let f: BloomFilter<u32> = BloomFilter::new(BloomParams { bits: 128, hashes: 3 });
+        let f: BloomFilter<u32> = BloomFilter::new(BloomParams {
+            bits: 128,
+            hashes: 3,
+        });
         assert_eq!(f.byte_size(), 16);
     }
 

@@ -230,7 +230,10 @@ mod tests {
         s.insert(1, &2);
         let shifted = s.shifted();
         assert_eq!(shifted.depth_of(&1), Some(1));
-        assert!(!shifted.contains(&2), "peer beyond max depth must be dropped");
+        assert!(
+            !shifted.contains(&2),
+            "peer beyond max depth must be dropped"
+        );
     }
 
     #[test]

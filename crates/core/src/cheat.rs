@@ -214,9 +214,8 @@ impl Mediator {
         first_direction: &[EncryptedBlock<P>],
         second_direction: &[EncryptedBlock<P>],
     ) -> MediationOutcome<P> {
-        let sample_ok = |blocks: &[EncryptedBlock<P>]| {
-            blocks.iter().take(self.sample_size).all(|b| b.valid)
-        };
+        let sample_ok =
+            |blocks: &[EncryptedBlock<P>]| blocks.iter().take(self.sample_size).all(|b| b.valid);
         if first_direction.is_empty()
             || second_direction.is_empty()
             || !sample_ok(first_direction)
@@ -272,7 +271,11 @@ mod tests {
     fn cheater_gain_is_bounded_by_window() {
         assert_eq!(max_cheater_gain_bytes(1_000, 1), 1_000);
         assert_eq!(max_cheater_gain_bytes(1_000, 4), 4_000);
-        assert_eq!(max_cheater_gain_bytes(1_000, 0), 1_000, "window clamps to 1");
+        assert_eq!(
+            max_cheater_gain_bytes(1_000, 0),
+            1_000,
+            "window clamps to 1"
+        );
     }
 
     #[test]
@@ -319,8 +322,16 @@ mod tests {
 
     #[test]
     fn mediator_releases_keys_to_real_participants_only() {
-        let a_to_b = vec![EncryptedBlock { origin: 1u32, intended_recipient: 2, valid: true }];
-        let b_to_a = vec![EncryptedBlock { origin: 2u32, intended_recipient: 1, valid: true }];
+        let a_to_b = vec![EncryptedBlock {
+            origin: 1u32,
+            intended_recipient: 2,
+            valid: true,
+        }];
+        let b_to_a = vec![EncryptedBlock {
+            origin: 2u32,
+            intended_recipient: 1,
+            valid: true,
+        }];
         let outcome = Mediator::new(1).mediate(&a_to_b, &b_to_a);
         assert!(!outcome.cheating_detected);
         assert_eq!(outcome.keys_released_to.get(&2), Some(&1));
@@ -330,8 +341,16 @@ mod tests {
 
     #[test]
     fn mediator_detects_junk_blocks() {
-        let a_to_b = vec![EncryptedBlock { origin: 1u32, intended_recipient: 2, valid: false }];
-        let b_to_a = vec![EncryptedBlock { origin: 2u32, intended_recipient: 1, valid: true }];
+        let a_to_b = vec![EncryptedBlock {
+            origin: 1u32,
+            intended_recipient: 2,
+            valid: false,
+        }];
+        let b_to_a = vec![EncryptedBlock {
+            origin: 2u32,
+            intended_recipient: 1,
+            valid: true,
+        }];
         let outcome = Mediator::new(1).mediate(&a_to_b, &b_to_a);
         assert!(outcome.cheating_detected);
         assert!(outcome.keys_released_to.is_empty());
@@ -343,17 +362,32 @@ mod tests {
     fn mediator_middleman_gets_nothing() {
         // Peers 1 and 2 are the true endpoints; peer 9 relays both directions.
         // The control headers (written by the true senders) name 2 and 1.
-        let via_middleman_1 = vec![EncryptedBlock { origin: 1u32, intended_recipient: 2, valid: true }];
-        let via_middleman_2 = vec![EncryptedBlock { origin: 2u32, intended_recipient: 1, valid: true }];
+        let via_middleman_1 = vec![EncryptedBlock {
+            origin: 1u32,
+            intended_recipient: 2,
+            valid: true,
+        }];
+        let via_middleman_2 = vec![EncryptedBlock {
+            origin: 2u32,
+            intended_recipient: 1,
+            valid: true,
+        }];
         let outcome = Mediator::default().mediate(&via_middleman_1, &via_middleman_2);
         assert!(outcome.can_decrypt(&1));
         assert!(outcome.can_decrypt(&2));
-        assert!(!outcome.can_decrypt(&9), "the relaying middleman never gets a key");
+        assert!(
+            !outcome.can_decrypt(&9),
+            "the relaying middleman never gets a key"
+        );
     }
 
     #[test]
     fn empty_transfer_releases_nothing() {
-        let blocks = vec![EncryptedBlock { origin: 1u32, intended_recipient: 2, valid: true }];
+        let blocks = vec![EncryptedBlock {
+            origin: 1u32,
+            intended_recipient: 2,
+            valid: true,
+        }];
         let outcome = Mediator::new(1).mediate(&blocks, &[]);
         assert!(outcome.keys_released_to.is_empty());
         assert!(!outcome.cheating_detected);

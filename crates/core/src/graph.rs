@@ -252,7 +252,10 @@ mod tests {
     fn add_and_query_requests() {
         let mut g: RequestGraph<u32, u32> = RequestGraph::new();
         assert!(g.add_request(1, 2, 100));
-        assert!(!g.add_request(1, 2, 100), "duplicate registration is a no-op");
+        assert!(
+            !g.add_request(1, 2, 100),
+            "duplicate registration is a no-op"
+        );
         assert!(g.add_request(1, 2, 101));
         assert_eq!(g.len(), 2);
         assert!(g.has_request(1, 2, 100));
@@ -308,7 +311,10 @@ mod tests {
     #[test]
     fn iteration_is_deterministic() {
         let g: RequestGraph<u32, u32> = [(3, 1, 5), (2, 1, 4), (1, 2, 3)].into_iter().collect();
-        let all: Vec<(u32, u32, u32)> = g.iter().map(|r| (r.requester, r.provider, r.object)).collect();
+        let all: Vec<(u32, u32, u32)> = g
+            .iter()
+            .map(|r| (r.requester, r.provider, r.object))
+            .collect();
         assert_eq!(all, vec![(2, 1, 4), (3, 1, 5), (1, 2, 3)]);
     }
 

@@ -55,13 +55,21 @@ impl<P: Key, O: Key> MixedExchangePlan<P, O> {
     /// Total download rate each peer receives under the plan.
     #[must_use]
     pub fn download_rate_of(&self, peer: &P) -> f64 {
-        self.flows.iter().filter(|f| f.to == *peer).map(|f| f.rate).sum()
+        self.flows
+            .iter()
+            .filter(|f| f.to == *peer)
+            .map(|f| f.rate)
+            .sum()
     }
 
     /// Total upload rate each peer contributes under the plan.
     #[must_use]
     pub fn upload_rate_of(&self, peer: &P) -> f64 {
-        self.flows.iter().filter(|f| f.from == *peer).map(|f| f.rate).sum()
+        self.flows
+            .iter()
+            .filter(|f| f.from == *peer)
+            .map(|f| f.rate)
+            .sum()
     }
 
     /// The peers that receive data under the plan.
@@ -71,7 +79,11 @@ impl<P: Key, O: Key> MixedExchangePlan<P, O> {
         for f in &self.flows {
             *rates.entry(f.to).or_insert(0.0) += f.rate;
         }
-        rates.into_iter().filter(|(_, r)| *r > 0.0).map(|(p, _)| p).collect()
+        rates
+            .into_iter()
+            .filter(|(_, r)| *r > 0.0)
+            .map(|(p, _)| p)
+            .collect()
     }
 }
 
@@ -123,7 +135,9 @@ pub fn pure_exchange_rates<P: Key, O: Key>(specs: &[PeerSpec<P, O>]) -> BTreeMap
 /// suppliers serve the provider in parallel.  Returns `None` when the pattern
 /// does not apply.
 #[must_use]
-pub fn plan_mixed_exchange<P: Key, O: Key>(specs: &[PeerSpec<P, O>]) -> Option<MixedExchangePlan<P, O>> {
+pub fn plan_mixed_exchange<P: Key, O: Key>(
+    specs: &[PeerSpec<P, O>],
+) -> Option<MixedExchangePlan<P, O>> {
     // Identify the forwarder: wants something, but owns nothing that any
     // other peer wants.
     let forwarder = specs.iter().find(|s| {
@@ -195,10 +209,30 @@ mod tests {
     /// The exact scenario of Table I: A(10,-,x) B(5,x,y) C(10,y,x) D(10,y,x).
     fn table_one() -> Vec<PeerSpec<&'static str, char>> {
         vec![
-            PeerSpec { peer: "A", upload_capacity: 10.0, has: vec![], wants: vec!['x'] },
-            PeerSpec { peer: "B", upload_capacity: 5.0, has: vec!['x'], wants: vec!['y'] },
-            PeerSpec { peer: "C", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
-            PeerSpec { peer: "D", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
+            PeerSpec {
+                peer: "A",
+                upload_capacity: 10.0,
+                has: vec![],
+                wants: vec!['x'],
+            },
+            PeerSpec {
+                peer: "B",
+                upload_capacity: 5.0,
+                has: vec!['x'],
+                wants: vec!['y'],
+            },
+            PeerSpec {
+                peer: "C",
+                upload_capacity: 10.0,
+                has: vec!['y'],
+                wants: vec!['x'],
+            },
+            PeerSpec {
+                peer: "D",
+                upload_capacity: 10.0,
+                has: vec!['y'],
+                wants: vec!['x'],
+            },
         ]
     }
 
@@ -245,8 +279,18 @@ mod tests {
     fn no_forwarder_means_no_plan() {
         // Everyone has something someone else wants: the pure ring suffices.
         let specs = vec![
-            PeerSpec { peer: 1u32, upload_capacity: 5.0, has: vec![1u32], wants: vec![2u32] },
-            PeerSpec { peer: 2u32, upload_capacity: 5.0, has: vec![2u32], wants: vec![1u32] },
+            PeerSpec {
+                peer: 1u32,
+                upload_capacity: 5.0,
+                has: vec![1u32],
+                wants: vec![2u32],
+            },
+            PeerSpec {
+                peer: 2u32,
+                upload_capacity: 5.0,
+                has: vec![2u32],
+                wants: vec![1u32],
+            },
         ];
         assert!(plan_mixed_exchange(&specs).is_none());
     }
@@ -255,8 +299,18 @@ mod tests {
     fn no_supplier_means_no_plan() {
         // A forwarder and a provider exist, but nobody has what the provider wants.
         let specs = vec![
-            PeerSpec { peer: 1u32, upload_capacity: 10.0, has: vec![], wants: vec![7u32] },
-            PeerSpec { peer: 2u32, upload_capacity: 5.0, has: vec![7u32], wants: vec![8u32] },
+            PeerSpec {
+                peer: 1u32,
+                upload_capacity: 10.0,
+                has: vec![],
+                wants: vec![7u32],
+            },
+            PeerSpec {
+                peer: 2u32,
+                upload_capacity: 5.0,
+                has: vec![7u32],
+                wants: vec![8u32],
+            },
         ];
         assert!(plan_mixed_exchange(&specs).is_none());
     }

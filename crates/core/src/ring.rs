@@ -200,8 +200,7 @@ mod tests {
     #[test]
     fn three_way_ring_orders_edges_into_cycle() {
         // Provide edges out of cycle order; constructor should order them.
-        let ring =
-            ExchangeRing::new(vec![edge(1, 2, 10), edge(3, 1, 30), edge(2, 3, 20)]).unwrap();
+        let ring = ExchangeRing::new(vec![edge(1, 2, 10), edge(3, 1, 30), edge(2, 3, 20)]).unwrap();
         assert_eq!(ring.len(), 3);
         let members = ring.members();
         assert_eq!(members[0], 1);
@@ -213,8 +212,7 @@ mod tests {
 
     #[test]
     fn every_member_uploads_and_downloads_once() {
-        let ring =
-            ExchangeRing::new(vec![edge(1, 2, 10), edge(2, 3, 20), edge(3, 1, 30)]).unwrap();
+        let ring = ExchangeRing::new(vec![edge(1, 2, 10), edge(2, 3, 20), edge(3, 1, 30)]).unwrap();
         for p in ring.members() {
             assert!(ring.upload_of(&p).is_some());
             assert!(ring.download_of(&p).is_some());
@@ -235,8 +233,8 @@ mod tests {
 
     #[test]
     fn duplicate_uploader_is_rejected() {
-        let err = ExchangeRing::new(vec![edge(1, 2, 10), edge(1, 3, 11), edge(3, 1, 12)])
-            .unwrap_err();
+        let err =
+            ExchangeRing::new(vec![edge(1, 2, 10), edge(1, 3, 11), edge(3, 1, 12)]).unwrap_err();
         assert!(matches!(err, RingError::DuplicatePeer(_)) || err == RingError::NotACycle);
     }
 

@@ -249,8 +249,9 @@ mod tests {
     #[test]
     fn max_ring_bound_excludes_long_cycles() {
         // Chain 1->0, 2->1, 3->2, 4->3; only peer 4 owns what 0 wants.
-        let graph: RequestGraph<u32, u32> =
-            [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)].into_iter().collect();
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)]
+            .into_iter()
+            .collect();
         let ownership: HashMap<u32, Vec<u32>> = [(4, vec![99])].into_iter().collect();
         // A ring through peer 4 needs 5 peers; bounding at 4 finds nothing.
         assert!(find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(4)).is_empty());
@@ -264,7 +265,8 @@ mod tests {
     fn preference_orders_candidates() {
         // Two feasible rings: pairwise via peer 1, 3-way via peer 2.
         let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20)].into_iter().collect();
-        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99]), (2, vec![99])].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> =
+            [(1, vec![99]), (2, vec![99])].into_iter().collect();
 
         let shorter = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
         assert_eq!(shorter.len(), 2);
@@ -288,13 +290,18 @@ mod tests {
     #[test]
     fn branching_tree_explores_all_branches() {
         // Root 0 has two IRQ entries (1 and 2); each has its own requester.
-        let graph: RequestGraph<u32, u32> =
-            [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)].into_iter().collect();
-        let ownership: HashMap<u32, Vec<u32>> = [(3, vec![99]), (4, vec![99])].into_iter().collect();
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> =
+            [(3, vec![99]), (4, vec![99])].into_iter().collect();
         let rings = find_rings(&graph, 0, &[99], owns(&ownership), shorter_first(5));
         assert_eq!(rings.len(), 2);
         assert!(rings.iter().all(|r| r.len() == 3));
-        let closers: Vec<u32> = rings.iter().map(|r| r.download_of(&0).unwrap().uploader).collect();
+        let closers: Vec<u32> = rings
+            .iter()
+            .map(|r| r.download_of(&0).unwrap().uploader)
+            .collect();
         assert!(closers.contains(&3) && closers.contains(&4));
     }
 
@@ -314,7 +321,8 @@ mod tests {
         // 0 itself requested from 1; the search must not route through 0 again.
         let graph: RequestGraph<u32, u32> =
             [(1, 0, 10), (0, 1, 11), (2, 0, 12)].into_iter().collect();
-        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![11]), (2, vec![11])].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> =
+            [(1, vec![11]), (2, vec![11])].into_iter().collect();
         let rings = find_rings(&graph, 0, &[11], owns(&ownership), shorter_first(5));
         for ring in &rings {
             let members = ring.members();
@@ -373,8 +381,9 @@ mod tests {
     fn budget_in_bfs_order_still_finds_shallow_rings_first() {
         // A deep chain plus a shallow pairwise option: even with a tiny
         // budget, the pairwise ring is found because exploration is BFS.
-        let graph: RequestGraph<u32, u32> =
-            [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)].into_iter().collect();
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (3, 2, 30), (4, 3, 40)]
+            .into_iter()
+            .collect();
         let ownership: HashMap<u32, Vec<u32>> =
             [(1, vec![99]), (4, vec![99])].into_iter().collect();
         let search = RingSearch::new(shorter_first(5)).with_expansion_budget(2);
@@ -442,8 +451,8 @@ mod tests {
                 owned in proptest::collection::hash_map(0u8..10, proptest::collection::vec(0u8..20, 0..4), 0..10),
             ) {
                 let provides = |p: &u8, o: &u8| owned.get(p).is_some_and(|objs| objs.contains(o));
-                let shorter = find_rings(&graph, root, &wants, &provides, shorter_first(5));
-                let longer = find_rings(&graph, root, &wants, &provides, longer_first(5));
+                let shorter = find_rings(&graph, root, &wants, provides, shorter_first(5));
+                let longer = find_rings(&graph, root, &wants, provides, longer_first(5));
                 prop_assert_eq!(shorter.len(), longer.len());
                 for w in shorter.windows(2) {
                     prop_assert!(w[0].len() <= w[1].len());

@@ -87,8 +87,7 @@ impl<P: Key> RingToken<P> {
             .map_or(0, |i| i + 1);
         let ordered = members[start..].iter().chain(members[..start].iter());
 
-        let mut confirmed = 0usize;
-        for peer in ordered {
+        for (confirmed, peer) in ordered.enumerate() {
             let edge = ring
                 .upload_of(peer)
                 .expect("every ring member has an upload edge");
@@ -98,7 +97,6 @@ impl<P: Key> RingToken<P> {
                     confirmed_before: confirmed,
                 };
             }
-            confirmed += 1;
         }
         TokenOutcome::Confirmed
     }
@@ -110,9 +108,21 @@ mod tests {
 
     fn three_way() -> ExchangeRing<u32, u32> {
         ExchangeRing::new(vec![
-            RingEdge { uploader: 0, downloader: 1, object: 10 },
-            RingEdge { uploader: 1, downloader: 2, object: 20 },
-            RingEdge { uploader: 2, downloader: 0, object: 30 },
+            RingEdge {
+                uploader: 0,
+                downloader: 1,
+                object: 10,
+            },
+            RingEdge {
+                uploader: 1,
+                downloader: 2,
+                object: 20,
+            },
+            RingEdge {
+                uploader: 2,
+                downloader: 0,
+                object: 30,
+            },
         ])
         .unwrap()
     }
@@ -143,9 +153,15 @@ mod tests {
             *peer != 2
         });
         match outcome {
-            TokenOutcome::Declined { peer, confirmed_before } => {
+            TokenOutcome::Declined {
+                peer,
+                confirmed_before,
+            } => {
                 assert_eq!(peer, 2);
-                assert_eq!(confirmed_before, 1, "peer 1 confirmed before peer 2 declined");
+                assert_eq!(
+                    confirmed_before, 1,
+                    "peer 1 confirmed before peer 2 declined"
+                );
             }
             TokenOutcome::Confirmed => panic!("expected a decline"),
         }
@@ -178,6 +194,10 @@ mod tests {
     #[test]
     fn outcome_helpers() {
         assert!(TokenOutcome::<u32>::Confirmed.is_confirmed());
-        assert!(!TokenOutcome::Declined { peer: 1u32, confirmed_before: 0 }.is_confirmed());
+        assert!(!TokenOutcome::Declined {
+            peer: 1u32,
+            confirmed_before: 0
+        }
+        .is_confirmed());
     }
 }

@@ -66,22 +66,26 @@ impl<P: Key, O: Key> RequestTree<P, O> {
         let mut nodes: Vec<TreeNode<P, O>> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
 
-        let push_children =
-            |nodes: &mut Vec<TreeNode<P, O>>, queue: &mut VecDeque<usize>, parent_peer: P, parent_idx: Option<usize>, depth: usize, root: P| {
-                for req in graph.incoming(parent_peer) {
-                    let peer = req.requester;
-                    if peer == root || nodes.iter().any(|n| n.peer == peer) {
-                        continue;
-                    }
-                    nodes.push(TreeNode {
-                        peer,
-                        object: req.object,
-                        depth,
-                        parent: parent_idx,
-                    });
-                    queue.push_back(nodes.len() - 1);
+        let push_children = |nodes: &mut Vec<TreeNode<P, O>>,
+                             queue: &mut VecDeque<usize>,
+                             parent_peer: P,
+                             parent_idx: Option<usize>,
+                             depth: usize,
+                             root: P| {
+            for req in graph.incoming(parent_peer) {
+                let peer = req.requester;
+                if peer == root || nodes.iter().any(|n| n.peer == peer) {
+                    continue;
                 }
-            };
+                nodes.push(TreeNode {
+                    peer,
+                    object: req.object,
+                    depth,
+                    parent: parent_idx,
+                });
+                queue.push_back(nodes.len() - 1);
+            }
+        };
 
         push_children(&mut nodes, &mut queue, root, None, 1, root);
         while let Some(idx) = queue.pop_front() {
@@ -89,7 +93,14 @@ impl<P: Key, O: Key> RequestTree<P, O> {
             if node.depth >= max_depth {
                 continue;
             }
-            push_children(&mut nodes, &mut queue, node.peer, Some(idx), node.depth + 1, root);
+            push_children(
+                &mut nodes,
+                &mut queue,
+                node.peer,
+                Some(idx),
+                node.depth + 1,
+                root,
+            );
         }
 
         RequestTree {
@@ -224,8 +235,7 @@ mod tests {
     #[test]
     fn peer_appears_once_at_shallowest_depth() {
         // Peer 2 requests from both 0 (depth 1) and 1 (would be depth 2).
-        let g: RequestGraph<u32, u32> =
-            [(1, 0, 10), (2, 0, 11), (2, 1, 20)].into_iter().collect();
+        let g: RequestGraph<u32, u32> = [(1, 0, 10), (2, 0, 11), (2, 1, 20)].into_iter().collect();
         let tree = RequestTree::build(&g, 0, 4);
         assert_eq!(tree.depth_of(&2), Some(1));
         assert_eq!(tree.nodes().iter().filter(|n| n.peer == 2).count(), 1);
@@ -242,8 +252,9 @@ mod tests {
 
     #[test]
     fn branching_irq_creates_siblings() {
-        let g: RequestGraph<u32, u32> =
-            [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)].into_iter().collect();
+        let g: RequestGraph<u32, u32> = [(1, 0, 10), (2, 0, 11), (3, 1, 30), (4, 2, 40)]
+            .into_iter()
+            .collect();
         let tree = RequestTree::build(&g, 0, 3);
         assert_eq!(tree.len(), 4);
         assert_eq!(tree.depth_of(&3), Some(2));

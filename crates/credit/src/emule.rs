@@ -119,8 +119,15 @@ mod tests {
     fn uploading_earns_credit_with_the_receiver() {
         let mut credit: EmuleCredit<u32> = EmuleCredit::new();
         credit.record_transfer(1, 0, 20 * 1_048_576);
-        assert!(credit.modifier(0, 1) > 1.0, "peer 1 should have credit at peer 0");
-        assert_eq!(credit.modifier(1, 0), 1.0, "peer 0 earned nothing at peer 1");
+        assert!(
+            credit.modifier(0, 1) > 1.0,
+            "peer 1 should have credit at peer 0"
+        );
+        assert_eq!(
+            credit.modifier(1, 0),
+            1.0,
+            "peer 0 earned nothing at peer 1"
+        );
         assert_eq!(credit.uploaded_to(0, 1), 20 * 1_048_576);
     }
 
@@ -140,7 +147,10 @@ mod tests {
         credit.record_transfer(1, 0, 10 * 1_048_576);
         credit.record_transfer(0, 1, 10 * 1_048_576);
         let m = credit.modifier(0, 1);
-        assert!((m - 2.0).abs() < 1e-9, "expected ratio-based modifier, got {m}");
+        assert!(
+            (m - 2.0).abs() < 1e-9,
+            "expected ratio-based modifier, got {m}"
+        );
     }
 
     #[test]
@@ -156,11 +166,11 @@ mod tests {
     fn score_scales_waiting_time_by_modifier() {
         let mut credit: EmuleCredit<u32> = EmuleCredit::new();
         credit.record_transfer(1, 0, 100 * 1_048_576);
-        let with_credit = QueuedRequest { requester: 1u32, waiting_secs: 10.0 };
-        let without = QueuedRequest { requester: 2u32, waiting_secs: 10.0 };
+        let with_credit = QueuedRequest::new(1u32, 10.0);
+        let without = QueuedRequest::new(2u32, 10.0);
         assert!(credit.score(0, &with_credit) > credit.score(0, &without));
         // But a patient stranger eventually overtakes: the paper's criticism.
-        let patient_stranger = QueuedRequest { requester: 2u32, waiting_secs: 1_000.0 };
+        let patient_stranger = QueuedRequest::new(2u32, 1_000.0);
         assert!(credit.score(0, &patient_stranger) > credit.score(0, &with_credit));
     }
 
@@ -168,10 +178,7 @@ mod tests {
     fn pick_prefers_contributors_at_equal_waiting_time() {
         let mut credit: EmuleCredit<u32> = EmuleCredit::new();
         credit.record_transfer(2, 0, 50 * 1_048_576);
-        let queue = vec![
-            QueuedRequest { requester: 1u32, waiting_secs: 30.0 },
-            QueuedRequest { requester: 2, waiting_secs: 30.0 },
-        ];
+        let queue = vec![QueuedRequest::new(1u32, 30.0), QueuedRequest::new(2, 30.0)];
         assert_eq!(credit.pick(0, &queue), Some(1));
     }
 }

@@ -1,0 +1,98 @@
+//! Queue-level adapter over the paper's exchange disciplines.
+
+use exchange::Key;
+
+use crate::{IncentiveMechanism, QueuedRequest};
+
+/// Applies the exchange preference to fallback queue ordering: requests
+/// whose requester could reciprocate — it stores an object the provider
+/// currently wants, i.e. the pair could form a ring — are served before all
+/// others; within each class the longest-waiting request wins.
+///
+/// This adapts the exchange disciplines of the paper's Section III to the
+/// [`crate::UploadScheduler`] API, so the incentive can be compared
+/// head-to-head with the credit-style baselines even for transfers that are
+/// not carried by an activated ring.  The caller marks reciprocation
+/// candidates via [`QueuedRequest::reciprocal`].
+///
+/// # Example
+///
+/// ```
+/// use credit::{ExchangeOrder, IncentiveMechanism, QueuedRequest};
+///
+/// let order = ExchangeOrder::new();
+/// let stranger = QueuedRequest::new(1u32, 500.0);
+/// let partner = QueuedRequest::new(2u32, 1.0).with_reciprocal(true);
+/// assert!(order.score(0, &partner) > order.score(0, &stranger));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeOrder;
+
+impl ExchangeOrder {
+    /// Creates the exchange-priority ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        ExchangeOrder
+    }
+}
+
+/// Reciprocation dominates; waiting time breaks ties within each class.
+const RECIPROCAL_PRIORITY: f64 = 1e12;
+
+impl<P: Key> IncentiveMechanism<P> for ExchangeOrder {
+    fn score(&self, _provider: P, request: &QueuedRequest<P>) -> f64 {
+        if request.reciprocal {
+            RECIPROCAL_PRIORITY + request.waiting_secs
+        } else {
+            request.waiting_secs
+        }
+    }
+
+    fn record_transfer(&mut self, _uploader: P, _downloader: P, _bytes: u64) {}
+
+    fn label(&self) -> &'static str {
+        "exchange-priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_requests_outrank_any_waiting_time() {
+        let order = ExchangeOrder::new();
+        let queue = [
+            QueuedRequest::new(1u32, 1e9),
+            QueuedRequest::new(2u32, 0.5).with_reciprocal(true),
+        ];
+        assert_eq!(order.pick(0, &queue), Some(1));
+    }
+
+    #[test]
+    fn waiting_time_orders_within_each_class() {
+        let order = ExchangeOrder::new();
+        let non_reciprocal = [
+            QueuedRequest::new(1u32, 5.0),
+            QueuedRequest::new(2u32, 50.0),
+        ];
+        assert_eq!(order.pick(0, &non_reciprocal), Some(1));
+
+        let reciprocal = [
+            QueuedRequest::new(1u32, 40.0).with_reciprocal(true),
+            QueuedRequest::new(2u32, 4.0).with_reciprocal(true),
+        ];
+        assert_eq!(order.pick(0, &reciprocal), Some(0));
+    }
+
+    #[test]
+    fn degrades_to_fifo_without_reciprocation_candidates() {
+        let order = ExchangeOrder::new();
+        let queue = [
+            QueuedRequest::new(3u32, 10.0),
+            QueuedRequest::new(4u32, 30.0),
+            QueuedRequest::new(5u32, 20.0),
+        ];
+        assert_eq!(order.pick(0, &queue), Some(1));
+    }
+}

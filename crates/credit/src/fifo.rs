@@ -38,7 +38,7 @@ mod tests {
     #[test]
     fn score_equals_waiting_time() {
         let fifo = Fifo::new();
-        let r = QueuedRequest { requester: 1u32, waiting_secs: 12.5 };
+        let r = QueuedRequest::new(1u32, 12.5);
         assert_eq!(fifo.score(0, &r), 12.5);
     }
 
@@ -46,8 +46,8 @@ mod tests {
     fn history_does_not_change_ordering() {
         let mut fifo = Fifo::new();
         fifo.record_transfer(1u32, 0u32, 1_000_000);
-        let generous = QueuedRequest { requester: 1u32, waiting_secs: 1.0 };
-        let stranger = QueuedRequest { requester: 2u32, waiting_secs: 2.0 };
+        let generous = QueuedRequest::new(1u32, 1.0);
+        let stranger = QueuedRequest::new(2u32, 2.0);
         assert!(fifo.score(0, &stranger) > fifo.score(0, &generous));
     }
 }

@@ -17,9 +17,13 @@
 //! * [`TitForTat`] — a BitTorrent-style reciprocation heuristic: prefer
 //!   requesters that recently uploaded to *you*, with a small optimistic
 //!   allowance for strangers.
+//! * [`ExchangeOrder`] — the exchange preference adapted to queue ordering:
+//!   requesters that could reciprocate in kind are served first.
 //!
-//! All mechanisms implement the [`IncentiveMechanism`] trait, generic over
-//! the peer identifier.
+//! All mechanisms implement the [`IncentiveMechanism`] scoring trait, and —
+//! through the object-safe [`UploadScheduler`] trait — plug into the
+//! simulator interchangeably.  [`SchedulerKind`] names each mechanism in
+//! configurations and constructs the matching trait object for a run.
 //!
 //! # Example
 //!
@@ -30,7 +34,7 @@
 //! // Peer 7 has uploaded a lot to us (peer 0) in the past; peer 8 nothing.
 //! credit.record_transfer(7, 0, 50_000_000);
 //!
-//! let waiting = |requester| QueuedRequest { requester, waiting_secs: 100.0 };
+//! let waiting = |requester| QueuedRequest::new(requester, 100.0);
 //! let s7 = credit.score(0, &waiting(7));
 //! let s8 = credit.score(0, &waiting(8));
 //! assert!(s7 > s8);
@@ -40,13 +44,17 @@
 #![forbid(unsafe_code)]
 
 mod emule;
+mod exchange_order;
 mod fifo;
 mod participation;
+mod scheduler;
 mod tit_for_tat;
 
 pub use emule::EmuleCredit;
+pub use exchange_order::ExchangeOrder;
 pub use fifo::Fifo;
 pub use participation::ParticipationLevel;
+pub use scheduler::{SchedulerKind, UploadScheduler};
 pub use tit_for_tat::TitForTat;
 
 use exchange::Key;
@@ -59,6 +67,28 @@ pub struct QueuedRequest<P> {
     pub requester: P,
     /// How long the request has been waiting, in seconds.
     pub waiting_secs: f64,
+    /// Whether the requester could reciprocate: it stores an object the
+    /// provider currently wants (used by [`ExchangeOrder`]).
+    pub reciprocal: bool,
+}
+
+impl<P> QueuedRequest<P> {
+    /// Creates a queued request with no reciprocation opportunity.
+    #[must_use]
+    pub fn new(requester: P, waiting_secs: f64) -> Self {
+        QueuedRequest {
+            requester,
+            waiting_secs,
+            reciprocal: false,
+        }
+    }
+
+    /// Sets whether the requester could reciprocate.
+    #[must_use]
+    pub fn with_reciprocal(mut self, reciprocal: bool) -> Self {
+        self.reciprocal = reciprocal;
+        self
+    }
 }
 
 /// An upload-scheduling incentive mechanism.
@@ -111,9 +141,9 @@ mod tests {
     fn pick_prefers_higher_score_then_waiting_time() {
         let fifo: Fifo = Fifo::new();
         let queue = vec![
-            QueuedRequest { requester: 1u32, waiting_secs: 5.0 },
-            QueuedRequest { requester: 2, waiting_secs: 50.0 },
-            QueuedRequest { requester: 3, waiting_secs: 20.0 },
+            QueuedRequest::new(1u32, 5.0),
+            QueuedRequest::new(2, 50.0),
+            QueuedRequest::new(3, 20.0),
         ];
         assert_eq!(fifo.pick(0, &queue), Some(1));
         assert_eq!(fifo.pick(0, &[]), None);
@@ -126,6 +156,7 @@ mod tests {
             IncentiveMechanism::<u32>::label(&EmuleCredit::<u32>::new()),
             IncentiveMechanism::<u32>::label(&ParticipationLevel::<u32>::new()),
             IncentiveMechanism::<u32>::label(&TitForTat::<u32>::new()),
+            IncentiveMechanism::<u32>::label(&ExchangeOrder::new()),
         ];
         let mut unique = labels.to_vec();
         unique.sort_unstable();

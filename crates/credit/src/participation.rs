@@ -23,8 +23,8 @@ use crate::{IncentiveMechanism, QueuedRequest};
 /// let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
 /// pl.report(1, 10.0);   // honest, modest contributor
 /// pl.report(2, 1000.0); // cheater announcing a huge level
-/// let r1 = QueuedRequest { requester: 1, waiting_secs: 60.0 };
-/// let r2 = QueuedRequest { requester: 2, waiting_secs: 1.0 };
+/// let r1 = QueuedRequest::new(1, 60.0);
+/// let r2 = QueuedRequest::new(2, 1.0);
 /// assert!(pl.score(0, &r2) > pl.score(0, &r1));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -95,8 +95,8 @@ mod tests {
         pl.record_transfer(1, 0, 500 * 1_048_576);
         pl.report(1, 50.0);
         pl.report(2, 10_000.0);
-        let honest = QueuedRequest { requester: 1u32, waiting_secs: 500.0 };
-        let cheater = QueuedRequest { requester: 2u32, waiting_secs: 1.0 };
+        let honest = QueuedRequest::new(1u32, 500.0);
+        let cheater = QueuedRequest::new(2u32, 1.0);
         assert!(pl.score(0, &cheater) > pl.score(0, &honest));
         assert!(pl.honest_level(2) < pl.honest_level(1));
     }
@@ -113,10 +113,7 @@ mod tests {
         let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
         pl.report(1, 5.0);
         pl.report(2, 5.0);
-        let queue = vec![
-            QueuedRequest { requester: 1u32, waiting_secs: 10.0 },
-            QueuedRequest { requester: 2, waiting_secs: 20.0 },
-        ];
+        let queue = vec![QueuedRequest::new(1u32, 10.0), QueuedRequest::new(2, 20.0)];
         assert_eq!(pl.pick(0, &queue), Some(1));
     }
 }

@@ -1,0 +1,256 @@
+//! The unified, object-safe upload-scheduler API.
+
+use std::fmt;
+
+use exchange::Key;
+
+use crate::{
+    EmuleCredit, ExchangeOrder, Fifo, IncentiveMechanism, ParticipationLevel, QueuedRequest,
+    TitForTat,
+};
+
+/// A pluggable upload-scheduling discipline with lifecycle hooks.
+///
+/// This is the one interface through which the simulator talks to every
+/// incentive mechanism the paper compares (Section II): the provider notifies
+/// the scheduler of queue and transfer events and asks it to pick the next
+/// request to serve.  The trait is object-safe, so a simulation holds a
+/// single `Box<dyn UploadScheduler<P>>` regardless of the mechanism under
+/// test.
+///
+/// * [`UploadScheduler::on_request`] — a request entered a provider's
+///   incoming-request queue.
+/// * [`UploadScheduler::on_transfer_complete`] — one block of data moved;
+///   history-based mechanisms (eMule credit, tit-for-tat, participation
+///   level) update their state here.
+/// * [`UploadScheduler::pick`] — choose which queued request the free upload
+///   slot should serve.
+///
+/// # Example
+///
+/// ```
+/// use credit::{QueuedRequest, SchedulerKind, UploadScheduler};
+///
+/// let mut scheduler = SchedulerKind::TitForTat.build::<u32>();
+/// scheduler.on_transfer_complete(7, 0, 50_000_000); // peer 7 uploaded to us
+/// let queue = [QueuedRequest::new(9, 100.0), QueuedRequest::new(7, 1.0)];
+/// assert_eq!(scheduler.pick(0, &queue), Some(1)); // reciprocate with peer 7
+/// ```
+pub trait UploadScheduler<P: Key>: fmt::Debug + Send {
+    /// Notifies the scheduler that `requester` queued a request at
+    /// `provider`.
+    fn on_request(&mut self, requester: P, provider: P) {
+        let _ = (requester, provider);
+    }
+
+    /// Notifies the scheduler that `uploader` transferred `bytes` to
+    /// `downloader`.
+    fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
+        let _ = (uploader, downloader, bytes);
+    }
+
+    /// Picks the request `provider` should serve next from `queue`, or
+    /// `None` to leave the slot idle (e.g. when the queue is empty).
+    fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize>;
+
+    /// Whether [`UploadScheduler::pick`] reads [`QueuedRequest::reciprocal`].
+    /// Callers may skip the (potentially costly) computation of that flag
+    /// when this returns `false`.
+    fn needs_reciprocal(&self) -> bool {
+        false
+    }
+
+    /// A short, stable label for reports and figures.
+    fn label(&self) -> &'static str;
+}
+
+macro_rules! impl_upload_scheduler_via_mechanism {
+    ($($mechanism:ty),*) => {$(
+        impl<P: Key + Send> UploadScheduler<P> for $mechanism {
+            fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
+                self.record_transfer(uploader, downloader, bytes);
+            }
+
+            fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+                IncentiveMechanism::<P>::pick(self, provider, queue)
+            }
+
+            fn label(&self) -> &'static str {
+                IncentiveMechanism::<P>::label(self)
+            }
+        }
+    )*};
+}
+
+impl_upload_scheduler_via_mechanism!(Fifo, EmuleCredit<P>, TitForTat<P>);
+
+impl<P: Key + Send> UploadScheduler<P> for ExchangeOrder {
+    fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+        IncentiveMechanism::<P>::pick(self, provider, queue)
+    }
+
+    fn needs_reciprocal(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        IncentiveMechanism::<P>::label(self)
+    }
+}
+
+impl<P: Key + Send> UploadScheduler<P> for ParticipationLevel<P> {
+    fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
+        self.record_transfer(uploader, downloader, bytes);
+        // Peers continuously re-announce their participation level.  The
+        // default wiring models honest clients: the announced level tracks
+        // the volume actually uploaded.  Tests and cheating studies can
+        // overwrite any peer's announcement via
+        // [`ParticipationLevel::report`].
+        let honest = self.honest_level(uploader);
+        self.report(uploader, honest);
+    }
+
+    fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+        IncentiveMechanism::<P>::pick(self, provider, queue)
+    }
+
+    fn label(&self) -> &'static str {
+        IncentiveMechanism::<P>::label(self)
+    }
+}
+
+/// Selects which [`UploadScheduler`] a simulation uses for requests that are
+/// not already served by an exchange ring (and, when exchanges are disabled,
+/// for all requests).
+///
+/// This enum is the constructor of the scheduler trait object: it is plain
+/// data (serializable, hashable) so configurations stay comparable, and
+/// [`SchedulerKind::build`] instantiates the matching scheduler state for
+/// one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Longest-waiting request first (the paper's behaviour).
+    Fifo,
+    /// eMule-style pairwise credit (queue rank = waiting time × credit).
+    EmuleCredit,
+    /// BitTorrent-style reciprocation.
+    TitForTat,
+    /// KaZaA-style self-reported participation level.
+    ParticipationLevel,
+    /// Exchange-flavoured ordering: requesters that could reciprocate (they
+    /// store an object the provider wants) are served first.
+    ExchangePriority,
+}
+
+impl SchedulerKind {
+    /// Every selectable scheduler, in presentation order.
+    #[must_use]
+    pub fn all() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Fifo,
+            SchedulerKind::EmuleCredit,
+            SchedulerKind::TitForTat,
+            SchedulerKind::ParticipationLevel,
+            SchedulerKind::ExchangePriority,
+        ]
+    }
+
+    /// Instantiates the scheduler state for one simulation run.
+    #[must_use]
+    pub fn build<P: Key + Send + 'static>(&self) -> Box<dyn UploadScheduler<P>> {
+        match self {
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::EmuleCredit => Box::new(EmuleCredit::new()),
+            SchedulerKind::TitForTat => Box::new(TitForTat::new()),
+            SchedulerKind::ParticipationLevel => Box::new(ParticipationLevel::new()),
+            SchedulerKind::ExchangePriority => Box::new(ExchangeOrder::new()),
+        }
+    }
+
+    /// The label the built scheduler will report.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::EmuleCredit => "emule-credit",
+            SchedulerKind::TitForTat => "tit-for-tat",
+            SchedulerKind::ParticipationLevel => "participation-level",
+            SchedulerKind::ExchangePriority => "exchange-priority",
+        }
+    }
+}
+
+impl Default for SchedulerKind {
+    /// The paper serves non-exchange requests first-come, first-served.
+    fn default() -> Self {
+        SchedulerKind::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_a_scheduler_with_matching_label() {
+        for kind in SchedulerKind::all() {
+            let scheduler = kind.build::<u32>();
+            assert_eq!(scheduler.label(), kind.label());
+        }
+    }
+
+    #[test]
+    fn built_schedulers_pick_from_queues() {
+        let queue = [QueuedRequest::new(1u32, 50.0), QueuedRequest::new(2, 10.0)];
+        for kind in SchedulerKind::all() {
+            let mut scheduler = kind.build::<u32>();
+            let pick = scheduler.pick(0, &queue);
+            assert!(
+                pick.is_some(),
+                "{} must serve a non-empty queue",
+                kind.label()
+            );
+            assert_eq!(scheduler.pick(0, &[]), None);
+        }
+    }
+
+    #[test]
+    fn participation_level_scheduler_self_reports_upload_volume() {
+        let mut scheduler = SchedulerKind::ParticipationLevel.build::<u32>();
+        // Peer 1 uploads 100 MiB; peer 2 uploads nothing.
+        scheduler.on_transfer_complete(1, 9, 100 * 1_048_576);
+        let contributor = QueuedRequest::new(1u32, 1.0);
+        let stranger = QueuedRequest::new(2u32, 10_000.0);
+        assert_eq!(
+            scheduler.pick(0, &[stranger, contributor]),
+            Some(1),
+            "the announced participation level must dominate waiting time"
+        );
+    }
+
+    #[test]
+    fn only_exchange_priority_needs_the_reciprocal_flag() {
+        for kind in SchedulerKind::all() {
+            let scheduler = kind.build::<u32>();
+            assert_eq!(
+                scheduler.needs_reciprocal(),
+                kind == SchedulerKind::ExchangePriority,
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        let mut fifo = SchedulerKind::Fifo.build::<u32>();
+        fifo.on_request(1, 0);
+        fifo.on_transfer_complete(1, 0, 42);
+        let queue = [QueuedRequest::new(1u32, 1.0), QueuedRequest::new(2, 2.0)];
+        assert_eq!(
+            fifo.pick(0, &queue),
+            Some(1),
+            "fifo still serves longest-waiting"
+        );
+    }
+}

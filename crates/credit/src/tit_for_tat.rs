@@ -21,8 +21,8 @@ use crate::{IncentiveMechanism, QueuedRequest};
 ///
 /// let mut tft: TitForTat<u32> = TitForTat::new();
 /// tft.record_transfer(3, 0, 1_000_000); // peer 3 uploaded to us (peer 0)
-/// let reciprocal = QueuedRequest { requester: 3, waiting_secs: 1.0 };
-/// let stranger = QueuedRequest { requester: 4, waiting_secs: 1.0 };
+/// let reciprocal = QueuedRequest::new(3, 1.0);
+/// let stranger = QueuedRequest::new(4, 1.0);
 /// assert!(tft.score(0, &reciprocal) > tft.score(0, &stranger));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +72,10 @@ impl<P: Key> IncentiveMechanism<P> for TitForTat<P> {
     }
 
     fn record_transfer(&mut self, uploader: P, downloader: P, bytes: u64) {
-        *self.received_from.entry((downloader, uploader)).or_insert(0) += bytes;
+        *self
+            .received_from
+            .entry((downloader, uploader))
+            .or_insert(0) += bytes;
     }
 
     fn label(&self) -> &'static str {
@@ -88,8 +91,8 @@ mod tests {
     fn reciprocation_dominates_waiting_time() {
         let mut tft: TitForTat<u32> = TitForTat::new();
         tft.record_transfer(1, 0, 10 * 1_048_576);
-        let generous = QueuedRequest { requester: 1u32, waiting_secs: 0.0 };
-        let patient = QueuedRequest { requester: 2u32, waiting_secs: 500.0 };
+        let generous = QueuedRequest::new(1u32, 0.0);
+        let patient = QueuedRequest::new(2u32, 500.0);
         assert!(tft.score(0, &generous) > tft.score(0, &patient));
     }
 
@@ -97,8 +100,8 @@ mod tests {
     fn optimistic_unchoke_eventually_serves_strangers() {
         let mut tft: TitForTat<u32> = TitForTat::new();
         tft.record_transfer(1, 0, 1_048_576); // small contribution
-        let generous = QueuedRequest { requester: 1u32, waiting_secs: 0.0 };
-        let very_patient = QueuedRequest { requester: 2u32, waiting_secs: 10_000.0 };
+        let generous = QueuedRequest::new(1u32, 0.0);
+        let very_patient = QueuedRequest::new(2u32, 10_000.0);
         assert!(tft.score(0, &very_patient) > tft.score(0, &generous));
     }
 
@@ -107,13 +110,17 @@ mod tests {
         let mut tft: TitForTat<u32> = TitForTat::new();
         tft.record_transfer(1, 0, 5 * 1_048_576);
         assert_eq!(tft.received(0, 1), 5 * 1_048_576);
-        assert_eq!(tft.received(2, 1), 0, "credit with peer 0 does not transfer to peer 2");
+        assert_eq!(
+            tft.received(2, 1),
+            0,
+            "credit with peer 0 does not transfer to peer 2"
+        );
     }
 
     #[test]
     fn zero_optimistic_weight_ignores_waiting() {
         let tft: TitForTat<u32> = TitForTat::new().with_optimistic_weight(0.0);
-        let stranger = QueuedRequest { requester: 9u32, waiting_secs: 1e9 };
+        let stranger = QueuedRequest::new(9u32, 1e9);
         assert_eq!(tft.score(0, &stranger), 0.0);
     }
 }

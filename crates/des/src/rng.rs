@@ -1,9 +1,10 @@
 //! Deterministic random number generation with named sub-streams.
+//!
+//! Self-contained (no external RNG crate): the generator is xoshiro256++,
+//! seeded through SplitMix64, which is plenty for simulation workloads and
+//! keeps the whole workspace building without network access.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic random source for simulations.
 ///
@@ -30,17 +31,22 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        // Expand the seed into four independent words with SplitMix64, the
+        // initialisation recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64(sm)
+        };
+        let state = [next(), next(), next(), next()];
+        DetRng { seed, state }
     }
 
     /// The seed this generator (or stream) was created with.
@@ -67,35 +73,78 @@ impl DetRng {
         DetRng::seed_from(mixed)
     }
 
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
     /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.gen_unit() < p.clamp(0.0, 1.0)
     }
 
     /// Samples a uniform floating point number in `[0, 1)`.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
     }
 
     /// Chooses a uniformly random element of `slice`, or `None` if empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
-        slice.choose(&mut self.inner)
+        if slice.is_empty() {
+            None
+        } else {
+            let index = self.below(slice.len() as u64) as usize;
+            Some(&slice[index])
+        }
     }
 
     /// Chooses the index of an element with probability proportional to
     /// `weights[i]`.  Returns `None` if `weights` is empty or all zero.
     pub fn choose_weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
-        if !(total > 0.0) {
+        if total.is_nan() || total <= 0.0 {
             return None;
         }
         let mut target = self.gen_unit() * total;
@@ -112,9 +161,12 @@ impl DetRng {
         weights.iter().rposition(|w| *w > 0.0)
     }
 
-    /// Shuffles `slice` in place.
+    /// Shuffles `slice` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        slice.shuffle(&mut self.inner);
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
     }
 
     /// Samples up to `n` distinct elements of `slice` (uniformly, without
@@ -127,21 +179,71 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Types [`DetRng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi]` (both bounds inclusive).
+    fn sample_inclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample_exclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64/u128-like domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+
+            fn sample_exclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    /// For floats the upper bound carries measure zero; a degenerate
+    /// `lo..=lo` range returns `lo` rather than panicking.
+    fn sample_inclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample from empty range");
+        if lo == hi {
+            return lo;
+        }
+        Self::sample_exclusive(rng, lo, hi)
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+    fn sample_exclusive(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample from empty range");
+        lo + rng.gen_unit() * (hi - lo)
     }
+}
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
+/// Range shapes accepted by [`DetRng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Samples one value uniformly from the range.
+    fn sample_from(self, rng: &mut DetRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut DetRng) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
     }
+}
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut DetRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
     }
 }
 
@@ -215,6 +317,39 @@ mod tests {
     }
 
     #[test]
+    fn inclusive_and_exclusive_ranges() {
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u32..=7);
+            assert!((5..=7).contains(&v));
+            let w = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&w));
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+        // Inclusive bounds are actually reachable.
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        // Degenerate inclusive ranges are valid for floats too.
+        assert_eq!(rng.gen_range(1.5f64..=1.5), 1.5);
+        assert_eq!(rng.gen_range(4u32..=4), 4);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = DetRng::seed_from(8);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(
+            buf.iter().any(|b| *b != 0),
+            "13 random bytes are not all zero"
+        );
+    }
+
+    #[test]
     fn weighted_choice_respects_zero_weights() {
         let mut rng = DetRng::seed_from(11);
         let weights = [0.0, 0.0, 1.0, 0.0];
@@ -234,7 +369,10 @@ mod tests {
             counts[rng.choose_weighted_index(&weights).unwrap()] += 1;
         }
         let ratio = counts[1] as f64 / counts[0] as f64;
-        assert!((2.0..4.0).contains(&ratio), "ratio {ratio} should be near 3");
+        assert!(
+            (2.0..4.0).contains(&ratio),
+            "ratio {ratio} should be near 3"
+        );
     }
 
     #[test]
@@ -249,6 +387,20 @@ mod tests {
         assert_eq!(vals.len(), 10);
         // Asking for more than available returns everything.
         assert_eq!(rng.sample(&items, 1_000).len(), 100);
+    }
+
+    #[test]
+    fn shuffle_permutes_all_elements() {
+        let mut rng = DetRng::seed_from(19);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(
+            xs, sorted,
+            "a 50-element shuffle is overwhelmingly unlikely to be identity"
+        );
     }
 
     #[test]

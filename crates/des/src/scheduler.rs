@@ -115,6 +115,7 @@ impl<E> Scheduler<E> {
     /// Returns `None` when the queue is empty or the next event lies beyond
     /// the configured horizon (in which case the clock is advanced to the
     /// horizon).
+    #[allow(clippy::should_implement_trait)] // not an Iterator: advances the clock
     pub fn next(&mut self) -> Option<E> {
         let next_time = self.queue.peek_time()?;
         if let Some(h) = self.horizon {

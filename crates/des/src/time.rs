@@ -314,7 +314,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs_f64(1.0))

@@ -117,7 +117,9 @@ impl SampleSet {
 }
 
 fn lcg(x: u64) -> u64 {
-    x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 16
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        >> 16
 }
 
 /// An empirical cumulative distribution function.
@@ -183,7 +185,10 @@ impl Cdf {
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "percentile of an empty CDF");
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile must be in [0,1], got {p}"
+        );
         let idx = ((self.sorted.len() as f64 - 1.0) * p).round() as usize;
         self.sorted[idx]
     }

@@ -119,7 +119,11 @@ mod tests {
         let s = TransferSession::new(1_000.0, 4_096, SimTime::ZERO);
         assert_eq!(s.next_block_bytes(10_000), 4_096);
         assert_eq!(s.next_block_bytes(1_000), 1_000);
-        assert_eq!(s.next_block_bytes(0), 1, "degenerate remaining clamps to 1 byte");
+        assert_eq!(
+            s.next_block_bytes(0),
+            1,
+            "degenerate remaining clamps to 1 byte"
+        );
     }
 
     #[test]
@@ -134,7 +138,10 @@ mod tests {
     fn age_is_measured_from_start() {
         let start = SimTime::from_secs_f64(100.0);
         let s = TransferSession::new(1_000.0, 4_096, start);
-        assert_eq!(s.age(SimTime::from_secs_f64(160.0)), SimDuration::from_secs(60));
+        assert_eq!(
+            s.age(SimTime::from_secs_f64(160.0)),
+            SimDuration::from_secs(60)
+        );
         assert_eq!(s.age(SimTime::from_secs_f64(50.0)), SimDuration::ZERO);
     }
 

@@ -43,7 +43,10 @@ impl SlotPool {
     /// Creates a pool with `capacity` slots, all free.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        SlotPool { capacity, in_use: 0 }
+        SlotPool {
+            capacity,
+            in_use: 0,
+        }
     }
 
     /// Total number of slots.

@@ -1,25 +1,10 @@
 //! Simulation configuration (the paper's Table II plus engine knobs).
 
+use credit::SchedulerKind;
 use exchange::ExchangePolicy;
 use netsim::LinkConfig;
 use serde::{Deserialize, Serialize};
 use workload::WorkloadConfig;
-
-/// How a provider orders *non-exchange* requests once no exchange is
-/// possible (and, under [`ExchangePolicy::NoExchange`], all requests).
-///
-/// The paper serves them first-come, first-served; the other options plug in
-/// the baseline incentive mechanisms from the `credit` crate for ablation
-/// experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum FallbackOrder {
-    /// Longest-waiting request first (the paper's behaviour).
-    Fifo,
-    /// eMule-style pairwise credit (queue rank = waiting time × credit).
-    EmuleCredit,
-    /// BitTorrent-style reciprocation.
-    TitForTat,
-}
 
 /// Full configuration of one simulation run.
 ///
@@ -49,8 +34,10 @@ pub struct SimConfig {
     pub link: LinkConfig,
     /// The exchange discipline under evaluation.
     pub discipline: ExchangePolicy,
-    /// Ordering of non-exchange requests.
-    pub fallback: FallbackOrder,
+    /// The upload scheduler ordering non-exchange requests (and, under
+    /// [`ExchangePolicy::NoExchange`], all requests).  Built into a
+    /// [`credit::UploadScheduler`] trait object per run.
+    pub scheduler: SchedulerKind,
     /// Whether a newly feasible exchange may preempt an ongoing non-exchange
     /// upload (the paper reclaims such slots "as soon as another exchange
     /// becomes possible").
@@ -94,7 +81,7 @@ impl SimConfig {
             workload: WorkloadConfig::paper_defaults(),
             link: LinkConfig::paper_defaults(),
             discipline: ExchangePolicy::two_five_way(),
-            fallback: FallbackOrder::Fifo,
+            scheduler: SchedulerKind::Fifo,
             preemption: true,
             max_pending_objects: 6,
             irq_capacity: 1000,
@@ -121,7 +108,7 @@ impl SimConfig {
             workload,
             link: LinkConfig::paper_defaults(),
             discipline: ExchangePolicy::two_five_way(),
-            fallback: FallbackOrder::Fifo,
+            scheduler: SchedulerKind::Fifo,
             preemption: true,
             max_pending_objects: 4,
             irq_capacity: 200,
@@ -193,7 +180,10 @@ impl SimConfig {
             ));
         }
         for (name, v) in [
-            ("storage_maintenance_interval_s", self.storage_maintenance_interval_s),
+            (
+                "storage_maintenance_interval_s",
+                self.storage_maintenance_interval_s,
+            ),
             ("request_retry_interval_s", self.request_retry_interval_s),
         ] {
             if !(v.is_finite() && v > 0.0) {

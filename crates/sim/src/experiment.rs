@@ -1,13 +1,39 @@
-//! Parameter sweeps behind every figure of the paper's evaluation.
+//! The canonical scenarios behind every figure of the paper's evaluation.
 //!
-//! Each function runs a family of simulations and returns plain rows that the
-//! figure binaries (crate `exchange-bench`) format into the tables/series the
-//! paper plots.  All sweeps take a base [`SimConfig`] so that callers can
-//! scale the experiments down (fewer peers, shorter horizon) for quick runs.
+//! Each function assembles the [`Scenario`] one figure sweeps — callers pick
+//! the seeds (`.seeds(0..n)`), optionally cap parallelism, and `.run()` the
+//! grid.  The figure binaries in the `exchange-bench` crate consume these
+//! and format the aggregated [`SweepGrid`](crate::SweepGrid) rows into the
+//! tables the paper plots.
+//!
+//! # Example
+//!
+//! ```
+//! use sim::{experiment, ExchangeDiscipline, PeerClass, SimConfig};
+//!
+//! let mut base = SimConfig::quick_test();
+//! base.num_peers = 20;
+//! base.sim_duration_s = 800.0;
+//! let grid = experiment::capacity_scenario(
+//!     &base,
+//!     &[ExchangeDiscipline::NoExchange, ExchangeDiscipline::Pairwise],
+//!     &[60.0, 100.0],
+//! )
+//! .seeds(0..2)
+//! .run();
+//! assert_eq!(grid.rows().len(), 8); // 2 capacities x 2 policies x 2 seeds
+//! let fast = grid
+//!     .aggregate_where(&[("upload_kbps", "100"), ("discipline", "pairwise")], |r| {
+//!         Some(r.exchange_session_fraction())
+//!     })
+//!     .unwrap();
+//! assert!(fast.mean >= 0.0);
+//! # let _ = PeerClass::Sharing;
+//! ```
 
 use exchange::ExchangePolicy;
 
-use crate::{PeerClass, SessionKind, SimConfig, SimReport, Simulation};
+use crate::{Axis, Scenario, SessionKind, SimConfig, SimReport, Simulation};
 
 /// Runs a single configuration and returns its report.
 #[must_use]
@@ -15,212 +41,91 @@ pub fn run(config: SimConfig, seed: u64) -> SimReport {
     Simulation::new(config, seed).run()
 }
 
-/// One point of the Figure 4/5 sweep: a policy at a given upload capacity.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CapacityPoint {
-    /// Upload capacity in kbit/s.
-    pub upload_kbps: f64,
-    /// The discipline under test.
-    pub policy: ExchangePolicy,
-    /// Mean download time of sharing peers, minutes.
-    pub sharing_min: Option<f64>,
-    /// Mean download time of non-sharing peers, minutes.
-    pub non_sharing_min: Option<f64>,
-    /// Fraction of sessions that were exchange transfers (Figure 5).
-    pub exchange_fraction: f64,
-}
-
-/// Figure 4 and Figure 5: mean download time and exchange-session fraction as
-/// the upload capacity varies.
+/// Figures 4 and 5: mean download time and exchange-session fraction as the
+/// upload capacity varies, for each discipline.
 #[must_use]
-pub fn capacity_sweep(
+pub fn capacity_scenario(
     base: &SimConfig,
     policies: &[ExchangePolicy],
     capacities_kbps: &[f64],
-    seed: u64,
-) -> Vec<CapacityPoint> {
-    let mut points = Vec::new();
-    for &upload_kbps in capacities_kbps {
-        for &policy in policies {
-            let mut config = base.clone();
-            config.link = config.link.with_upload_kbps(upload_kbps);
-            config.discipline = policy;
-            let report = run(config, seed);
-            points.push(CapacityPoint {
-                upload_kbps,
-                policy,
-                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
-                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
-                exchange_fraction: report.exchange_session_fraction(),
-            });
-        }
-    }
-    points
-}
-
-/// One point of the Figure 6 sweep: a maximum ring size under one preference.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RingSizePoint {
-    /// The maximum ring size N.
-    pub max_ring: usize,
-    /// Whether longer rings were preferred (`N-2-way`) or shorter (`2-N-way`).
-    pub prefer_longer: bool,
-    /// Mean download time of sharing peers, minutes.
-    pub sharing_min: Option<f64>,
-    /// Mean download time of non-sharing peers, minutes.
-    pub non_sharing_min: Option<f64>,
+) -> Scenario {
+    Scenario::from(base.clone())
+        .vary(Axis::UploadKbps(capacities_kbps.to_vec()))
+        .disciplines(policies.iter().copied())
 }
 
 /// Figure 6: the benefit of higher-order exchanges as the maximum ring size
-/// grows, for both preference orders.
+/// grows, for both preference orders (`N-2-way` and `2-N-way`).
+///
+/// Ring sizes below 2 degrade to [`ExchangePolicy::NoExchange`].
 #[must_use]
-pub fn ring_size_sweep(base: &SimConfig, max_sizes: &[usize], seed: u64) -> Vec<RingSizePoint> {
-    let mut points = Vec::new();
+pub fn ring_size_scenario(base: &SimConfig, max_sizes: &[usize]) -> Scenario {
+    let mut policies = Vec::with_capacity(max_sizes.len() * 2);
     for &max_ring in max_sizes {
         for prefer_longer in [true, false] {
-            let mut config = base.clone();
-            config.discipline = if max_ring < 2 {
+            let policy = if max_ring < 2 {
                 ExchangePolicy::NoExchange
+            } else if max_ring == 2 {
+                // Both search orders coincide at N = 2: a single pairwise run.
+                ExchangePolicy::Pairwise
             } else if prefer_longer {
                 ExchangePolicy::PreferLonger { max_ring }
             } else {
                 ExchangePolicy::PreferShorter { max_ring }
             };
-            let report = run(config, seed);
-            points.push(RingSizePoint {
-                max_ring,
-                prefer_longer,
-                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
-                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
-            });
+            if !policies.contains(&policy) {
+                policies.push(policy);
+            }
         }
     }
-    points
-}
-
-/// One point of the Figure 9/10 sweep: a policy at a given popularity factor.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PopularityPoint {
-    /// The object/category popularity factor `f`.
-    pub factor: f64,
-    /// The discipline under test.
-    pub policy: ExchangePolicy,
-    /// Mean download time of sharing peers, minutes.
-    pub sharing_min: Option<f64>,
-    /// Mean download time of non-sharing peers, minutes.
-    pub non_sharing_min: Option<f64>,
-    /// Mean volume downloaded per sharing peer, MB (Figure 10).
-    pub sharing_volume_mb: Option<f64>,
-    /// Mean volume downloaded per non-sharing peer, MB (Figure 10).
-    pub non_sharing_volume_mb: Option<f64>,
+    Scenario::from(base.clone()).disciplines(policies)
 }
 
 /// Figures 9 and 10: the effect of the popularity factor `f` on download
-/// times and transferred volume.
+/// times and transferred volume, for each discipline.
 #[must_use]
-pub fn popularity_sweep(
+pub fn popularity_scenario(
     base: &SimConfig,
     policies: &[ExchangePolicy],
     factors: &[f64],
-    seed: u64,
-) -> Vec<PopularityPoint> {
-    let mut points = Vec::new();
-    for &factor in factors {
-        for &policy in policies {
-            let mut config = base.clone();
-            config.workload.category_popularity_factor = factor;
-            config.workload.object_popularity_factor = factor;
-            config.discipline = policy;
-            let report = run(config, seed);
-            points.push(PopularityPoint {
-                factor,
-                policy,
-                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
-                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
-                sharing_volume_mb: report.mean_volume_per_peer_mb(PeerClass::Sharing),
-                non_sharing_volume_mb: report.mean_volume_per_peer_mb(PeerClass::NonSharing),
-            });
-        }
-    }
-    points
-}
-
-/// One point of the Figure 11 sweep.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OutstandingPoint {
-    /// Maximum outstanding requests per peer.
-    pub max_outstanding: usize,
-    /// Number of categories each peer is interested in.
-    pub categories_per_peer: u32,
-    /// Ratio of non-sharing to sharing mean download time (the "speedup" of
-    /// sharing users).
-    pub ratio: Option<f64>,
+) -> Scenario {
+    Scenario::from(base.clone())
+        .vary(Axis::PopularityFactor(factors.to_vec()))
+        .disciplines(policies.iter().copied())
 }
 
 /// Figure 11: the download-time ratio between sharing and non-sharing users
 /// as a function of the maximum number of outstanding requests, for several
 /// values of categories-per-peer.
 #[must_use]
-pub fn outstanding_sweep(
+pub fn outstanding_scenario(
     base: &SimConfig,
     outstanding: &[usize],
     categories_per_peer: &[u32],
-    seed: u64,
-) -> Vec<OutstandingPoint> {
-    let mut points = Vec::new();
-    for &cats in categories_per_peer {
-        for &max_outstanding in outstanding {
-            let mut config = base.clone();
-            config.max_pending_objects = max_outstanding;
-            config.workload.categories_per_peer = (cats, cats);
-            let report = run(config, seed);
-            points.push(OutstandingPoint {
-                max_outstanding,
-                categories_per_peer: cats,
-                ratio: report.download_time_ratio(),
-            });
-        }
-    }
-    points
+) -> Scenario {
+    Scenario::from(base.clone())
+        .vary(Axis::CategoriesPerPeer(categories_per_peer.to_vec()))
+        .vary(Axis::MaxPendingObjects(outstanding.to_vec()))
 }
 
-/// One point of the Figure 12 sweep: a policy at a given free-rider fraction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FreeriderPoint {
-    /// Fraction of non-sharing peers in the system.
-    pub freerider_fraction: f64,
-    /// The discipline under test.
-    pub policy: ExchangePolicy,
-    /// Mean download time of sharing peers, minutes.
-    pub sharing_min: Option<f64>,
-    /// Mean download time of non-sharing peers, minutes.
-    pub non_sharing_min: Option<f64>,
-}
-
-/// Figure 12: mean download times as the fraction of non-sharing peers varies.
+/// Figure 12: mean download times as the fraction of non-sharing peers
+/// varies, for each discipline.
 #[must_use]
-pub fn freerider_sweep(
+pub fn freerider_scenario(
     base: &SimConfig,
     policies: &[ExchangePolicy],
     fractions: &[f64],
-    seed: u64,
-) -> Vec<FreeriderPoint> {
-    let mut points = Vec::new();
-    for &fraction in fractions {
-        for &policy in policies {
-            let mut config = base.clone();
-            config.freerider_fraction = fraction;
-            config.discipline = policy;
-            let report = run(config, seed);
-            points.push(FreeriderPoint {
-                freerider_fraction: fraction,
-                policy,
-                sharing_min: report.mean_download_time_min(PeerClass::Sharing),
-                non_sharing_min: report.mean_download_time_min(PeerClass::NonSharing),
-            });
-        }
-    }
-    points
+) -> Scenario {
+    Scenario::from(base.clone())
+        .vary(Axis::FreeriderFraction(fractions.to_vec()))
+        .disciplines(policies.iter().copied())
+}
+
+/// Section II comparison: every upload scheduler head-to-head under one
+/// workload (the `baseline_comparison` example and the ablation benches).
+#[must_use]
+pub fn scheduler_scenario(base: &SimConfig) -> Scenario {
+    Scenario::from(base.clone()).schedulers(credit::SchedulerKind::all())
 }
 
 /// Figures 7 and 8: a single run whose per-session distributions (bytes and
@@ -244,6 +149,7 @@ pub fn figure_session_kinds(max_ring: usize) -> Vec<SessionKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PeerClass;
 
     fn tiny_base() -> SimConfig {
         let mut config = SimConfig::quick_test();
@@ -253,55 +159,97 @@ mod tests {
     }
 
     #[test]
-    fn capacity_sweep_produces_one_point_per_combination() {
-        let points = capacity_sweep(
+    fn capacity_scenario_produces_one_point_per_combination() {
+        let grid = capacity_scenario(
             &tiny_base(),
             &[ExchangePolicy::NoExchange, ExchangePolicy::Pairwise],
             &[40.0, 80.0],
-            1,
-        );
-        assert_eq!(points.len(), 4);
-        assert!(points.iter().all(|p| p.exchange_fraction >= 0.0));
+        )
+        .seeds([1])
+        .run();
+        assert_eq!(grid.points().len(), 4);
+        assert_eq!(grid.rows().len(), 4);
         // The no-exchange runs never report exchange sessions.
-        for p in points.iter().filter(|p| p.policy == ExchangePolicy::NoExchange) {
-            assert_eq!(p.exchange_fraction, 0.0);
+        for point in grid.points() {
+            let fraction = grid
+                .aggregate(point.index, |r| Some(r.exchange_session_fraction()))
+                .unwrap();
+            assert!(fraction.mean >= 0.0);
+            if point.value("discipline") == Some("no-exchange") {
+                assert_eq!(fraction.mean, 0.0);
+            }
         }
     }
 
     #[test]
-    fn ring_size_sweep_covers_both_preferences() {
-        let points = ring_size_sweep(&tiny_base(), &[2, 3], 2);
-        assert_eq!(points.len(), 4);
-        assert!(points.iter().any(|p| p.prefer_longer));
-        assert!(points.iter().any(|p| !p.prefer_longer));
+    fn capacity_scenario_aggregates_means_across_parallel_seeds() {
+        // The acceptance bar of the API redesign: one builder call, >= 3
+        // seeds, parallel execution, aggregated means per point.
+        let grid = capacity_scenario(&tiny_base(), &[ExchangePolicy::two_five_way()], &[80.0])
+            .seeds(0..3)
+            .run();
+        assert_eq!(grid.rows().len(), 3);
+        let downloads = grid
+            .aggregate(0, |r| Some(r.completed_downloads() as f64))
+            .unwrap();
+        assert_eq!(downloads.n, 3);
+        assert!(downloads.mean > 0.0);
+        let sharing = grid.aggregate(0, |r| r.mean_download_time_min(PeerClass::Sharing));
+        assert!(sharing.is_none_or(|a| a.n <= 3));
     }
 
     #[test]
-    fn popularity_sweep_sets_factor() {
-        let points = popularity_sweep(&tiny_base(), &[ExchangePolicy::Pairwise], &[0.0, 1.0], 3);
+    fn ring_size_scenario_covers_both_preferences() {
+        let grid = ring_size_scenario(&tiny_base(), &[2, 3]).seeds([2]).run();
+        let labels: Vec<&str> = grid
+            .points()
+            .iter()
+            .filter_map(|p| p.value("discipline"))
+            .collect();
+        assert_eq!(labels, ["pairwise", "3-2-way", "2-3-way"]);
+    }
+
+    #[test]
+    fn popularity_scenario_sets_factor() {
+        let scenario = popularity_scenario(&tiny_base(), &[ExchangePolicy::Pairwise], &[0.0, 1.0]);
+        let points = scenario.points();
         assert_eq!(points.len(), 2);
-        assert_eq!(points[0].factor, 0.0);
-        assert_eq!(points[1].factor, 1.0);
+        assert_eq!(points[0].config.workload.object_popularity_factor, 0.0);
+        assert_eq!(points[1].config.workload.category_popularity_factor, 1.0);
     }
 
     #[test]
-    fn outstanding_sweep_crosses_parameters() {
-        let points = outstanding_sweep(&tiny_base(), &[2, 4], &[2, 4], 4);
-        assert_eq!(points.len(), 4);
-        let cats: Vec<u32> = points.iter().map(|p| p.categories_per_peer).collect();
-        assert!(cats.contains(&2) && cats.contains(&4));
-    }
-
-    #[test]
-    fn freerider_sweep_varies_population() {
-        let points = freerider_sweep(
-            &tiny_base(),
-            &[ExchangePolicy::two_five_way()],
-            &[0.2, 0.8],
-            5,
+    fn outstanding_scenario_crosses_parameters() {
+        let grid = outstanding_scenario(&tiny_base(), &[2, 4], &[2, 4])
+            .seeds([4])
+            .run();
+        assert_eq!(grid.points().len(), 4);
+        let ratio = grid.aggregate_where(
+            &[("max_pending", "2"), ("categories_per_peer", "4")],
+            SimReport::download_time_ratio,
         );
+        // The tiny run may not complete downloads in both classes; the
+        // lookup itself must still resolve.
+        assert!(grid
+            .find_point(&[("max_pending", "2"), ("categories_per_peer", "4")])
+            .is_some());
+        assert!(ratio.is_none_or(|a| a.mean > 0.0));
+    }
+
+    #[test]
+    fn freerider_scenario_varies_population() {
+        let scenario =
+            freerider_scenario(&tiny_base(), &[ExchangePolicy::two_five_way()], &[0.2, 0.8]);
+        let points = scenario.points();
         assert_eq!(points.len(), 2);
-        assert_eq!(points[0].freerider_fraction, 0.2);
+        assert_eq!(points[0].config.freerider_fraction, 0.2);
+        assert_eq!(points[1].config.freerider_fraction, 0.8);
+    }
+
+    #[test]
+    fn scheduler_scenario_covers_every_kind() {
+        let points = scheduler_scenario(&tiny_base()).points();
+        assert_eq!(points.len(), credit::SchedulerKind::all().len());
     }
 
     #[test]

@@ -9,25 +9,37 @@
 //!   [`netsim`];
 //! * exchange-ring discovery, the token protocol and the exchange
 //!   disciplines come from [`exchange`];
-//! * optional baseline upload schedulers come from [`credit`];
+//! * the pluggable upload schedulers (FIFO, eMule credit, tit-for-tat,
+//!   participation level, exchange priority) come from [`credit`], selected
+//!   via [`SchedulerKind`] and driven through one object-safe
+//!   [`UploadScheduler`] API;
 //! * everything is driven by the discrete-event engine in [`des`] and
 //!   measured with [`metrics`].
 //!
 //! The central type is [`Simulation`]: build a [`SimConfig`] (defaults follow
 //! the paper's Table II), run it, and read the resulting [`SimReport`].
-//! Module [`experiment`] contains the parameter sweeps behind every figure of
-//! the paper.
 //!
-//! # Example
+//! For families of runs, the builder-style [`Scenario`] engine executes a
+//! config × seed grid in parallel and aggregates the per-point results:
 //!
 //! ```
-//! use sim::{ExchangeDiscipline, SimConfig, Simulation};
+//! use sim::{Axis, Scenario, PeerClass, SimConfig};
 //!
-//! let mut config = SimConfig::quick_test();
-//! config.discipline = ExchangeDiscipline::two_five_way();
-//! let report = Simulation::new(config, 7).run();
-//! assert!(report.completed_downloads() > 0);
+//! let mut base = SimConfig::quick_test();
+//! base.num_peers = 20;
+//! base.sim_duration_s = 1_000.0;
+//! let grid = Scenario::from(base)
+//!     .vary(Axis::UploadKbps(vec![60.0, 100.0]))
+//!     .seeds(0..2)
+//!     .run();
+//! assert_eq!(grid.rows().len(), 4); // 2 capacities x 2 seeds
+//! let downloads = grid.aggregate(0, |r| Some(r.completed_downloads() as f64));
+//! assert!(downloads.unwrap().mean >= 0.0);
+//! # let _ = PeerClass::Sharing;
 //! ```
+//!
+//! Module [`experiment`] provides the canonical scenarios behind every
+//! figure of the paper.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,12 +48,15 @@ mod config;
 pub mod experiment;
 mod peer;
 mod report;
+mod scenario;
 mod simulation;
 mod types;
 
-pub use config::{FallbackOrder, SimConfig};
+pub use config::SimConfig;
+pub use credit::{SchedulerKind, UploadScheduler};
 pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
 pub use report::SimReport;
+pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow};
 pub use simulation::Simulation;
 pub use types::{PeerClass, SessionEnd, SessionKind};

@@ -122,8 +122,10 @@ mod tests {
     fn pending_request_budget() {
         let mut peer = test_peer(true);
         assert!(peer.can_issue_request(2));
-        peer.wants.insert(ObjectId::new(1), WantState::new(SimTime::ZERO, vec![]));
-        peer.wants.insert(ObjectId::new(2), WantState::new(SimTime::ZERO, vec![]));
+        peer.wants
+            .insert(ObjectId::new(1), WantState::new(SimTime::ZERO, vec![]));
+        peer.wants
+            .insert(ObjectId::new(2), WantState::new(SimTime::ZERO, vec![]));
         assert!(!peer.can_issue_request(2));
         assert!(peer.can_issue_request(3));
     }
@@ -132,7 +134,8 @@ mod tests {
     fn has_or_wants_covers_storage_and_pending() {
         let mut peer = test_peer(true);
         peer.storage.insert(ObjectId::new(7));
-        peer.wants.insert(ObjectId::new(9), WantState::new(SimTime::ZERO, vec![]));
+        peer.wants
+            .insert(ObjectId::new(9), WantState::new(SimTime::ZERO, vec![]));
         assert!(peer.has_or_wants(ObjectId::new(7)));
         assert!(peer.has_or_wants(ObjectId::new(9)));
         assert!(!peer.has_or_wants(ObjectId::new(11)));

@@ -270,7 +270,10 @@ mod tests {
         r.record_session(SessionKind::Exchange { ring_size: 2 }, 400);
         assert_eq!(r.total_sessions(), 4);
         assert!((r.exchange_session_fraction() - 0.75).abs() < 1e-12);
-        assert_eq!(r.session_counts()[&SessionKind::Exchange { ring_size: 2 }], 2);
+        assert_eq!(
+            r.session_counts()[&SessionKind::Exchange { ring_size: 2 }],
+            2
+        );
         assert_eq!(r.observed_kinds().len(), 3);
     }
 
@@ -287,7 +290,9 @@ mod tests {
         let waits = r.waiting_cdf(SessionKind::NonExchange).unwrap();
         assert_eq!(waits.len(), 2);
         assert_eq!(r.mean_waiting_secs(SessionKind::NonExchange), Some(10.0));
-        assert!(r.session_bytes_cdf(SessionKind::Exchange { ring_size: 2 }).is_none());
+        assert!(r
+            .session_bytes_cdf(SessionKind::Exchange { ring_size: 2 })
+            .is_none());
         assert_eq!(r.mean_session_bytes(SessionKind::NonExchange), Some(200.0));
     }
 

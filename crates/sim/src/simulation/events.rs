@@ -1,0 +1,134 @@
+//! Event vocabulary, request generation and storage maintenance.
+
+use des::SimDuration;
+use workload::{ObjectId, PeerId};
+
+use crate::WantState;
+
+use super::Simulation;
+
+/// Everything that can happen in the discrete-event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// Top up a peer's outstanding requests.
+    GenerateRequests(PeerId),
+    /// Let a provider (re)fill its upload slots.
+    TrySchedule(PeerId),
+    /// One block of a transfer finished.
+    BlockComplete(super::TransferId),
+    /// Periodic storage-capacity enforcement at a peer.
+    StorageMaintenance(PeerId),
+}
+
+impl Simulation {
+    // ---- request generation -------------------------------------------------
+
+    pub(super) fn handle_generate_requests(&mut self, peer: PeerId) {
+        let max_pending = self.config.max_pending_objects;
+        let mut attempts = 0usize;
+        let attempt_budget = max_pending * 4;
+        while self.peer(peer).can_issue_request(max_pending) && attempts < attempt_budget {
+            attempts += 1;
+            let candidate = {
+                let state = &self.peers[peer.as_usize()];
+                self.request_gen.next_request(
+                    &self.catalog,
+                    &state.interests,
+                    &mut self.rng_requests,
+                    |o| state.has_or_wants(o),
+                )
+            };
+            let Some(object) = candidate else { break };
+            self.issue_request(peer, object);
+        }
+        // Periodically retry: wants for which no provider was found, or spare
+        // request budget freed by abandoned lookups, get another chance.
+        self.engine.schedule_in(
+            SimDuration::from_secs_f64(self.config.request_retry_interval_s),
+            Event::GenerateRequests(peer),
+        );
+    }
+
+    /// Looks up providers for `object` and registers requests with them.
+    fn issue_request(&mut self, requester: PeerId, object: ObjectId) {
+        // Lookup: every sharing peer that currently stores the object.
+        let all_providers: Vec<PeerId> = self
+            .peers
+            .iter()
+            .filter(|p| p.id != requester && p.sharing && p.storage.contains(object))
+            .map(|p| p.id)
+            .collect();
+        if all_providers.is_empty() {
+            return; // nothing to request from right now
+        }
+        let chosen: Vec<PeerId> = self
+            .rng_lookup
+            .sample(&all_providers, self.config.lookup_max_providers)
+            .into_iter()
+            .copied()
+            .collect();
+
+        let now = self.now();
+        let mut registered = Vec::new();
+        for provider in chosen {
+            if self.graph.incoming_len(provider) >= self.config.irq_capacity {
+                continue;
+            }
+            if self.graph.add_request(requester, provider, object) {
+                self.scheduler.on_request(requester, provider);
+                registered.push(provider);
+            }
+        }
+        if registered.is_empty() {
+            return;
+        }
+        self.peer_mut(requester)
+            .wants
+            .insert(object, WantState::new(now, registered.clone()));
+        for provider in registered {
+            self.engine.schedule_now(Event::TrySchedule(provider));
+        }
+        // The requester's own exchange opportunities changed too: it now has
+        // one more want that a peer in its request tree might satisfy.
+        if self.peer(requester).sharing {
+            self.engine.schedule_now(Event::TrySchedule(requester));
+        }
+    }
+
+    // ---- storage maintenance ------------------------------------------------
+
+    pub(super) fn handle_storage_maintenance(&mut self, peer: PeerId) {
+        // Objects currently being uploaded by this peer are pinned, as the
+        // paper postpones removal of objects used in an ongoing exchange.
+        let pinned: Vec<ObjectId> = self
+            .uploads_by_peer
+            .get(&peer)
+            .into_iter()
+            .flatten()
+            .filter_map(|tid| self.transfers.get(tid).map(|t| t.object))
+            .collect();
+        let evicted = {
+            let state = &mut self.peers[peer.as_usize()];
+            state
+                .storage
+                .evict_over_capacity(&mut self.rng_storage, |o| pinned.contains(&o))
+        };
+        // Requests directed at this peer for evicted objects can no longer be
+        // served here; withdraw them so the request graph stays truthful.
+        for object in evicted {
+            let stale: Vec<PeerId> = self
+                .graph
+                .incoming(peer)
+                .filter(|r| r.object == object)
+                .map(|r| r.requester)
+                .collect();
+            for requester in stale {
+                self.graph.remove_request(requester, peer, object);
+            }
+        }
+        self.engine.schedule_in(
+            SimDuration::from_secs_f64(self.config.storage_maintenance_interval_s),
+            Event::StorageMaintenance(peer),
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Upload-slot scheduling: exchange-ring discovery and activation,
+//! preemption, and the pluggable non-exchange fallback.
+
+use credit::QueuedRequest;
+use exchange::{ExchangeRing, RingSearch, RingToken, TokenOutcome};
+use workload::{ObjectId, PeerId};
+
+use crate::{SessionEnd, SessionKind};
+
+use super::Simulation;
+
+impl Simulation {
+    pub(super) fn handle_try_schedule(&mut self, provider: PeerId) {
+        if !self.peer(provider).sharing {
+            return;
+        }
+        loop {
+            let free_slot = self.peer(provider).upload_slots.has_free();
+            let can_preempt = self.config.preemption && self.has_preemptible_upload(provider);
+            let mut progressed = false;
+
+            if self.config.discipline.allows_exchange() && (free_slot || can_preempt) {
+                progressed = self.try_form_exchange(provider);
+            }
+            if !progressed && self.peer(provider).upload_slots.has_free() {
+                progressed = self.serve_non_exchange(provider);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    pub(super) fn has_preemptible_upload(&self, uploader: PeerId) -> bool {
+        self.uploads_by_peer.get(&uploader).is_some_and(|tids| {
+            tids.iter().any(|tid| {
+                self.transfers
+                    .get(tid)
+                    .is_some_and(|t| !t.kind.is_exchange())
+            })
+        })
+    }
+
+    /// Attempts to discover and activate one exchange ring rooted at
+    /// `provider`.  Returns `true` if a ring was activated.
+    fn try_form_exchange(&mut self, provider: PeerId) -> bool {
+        let Some(policy) = self.config.discipline.search_policy() else {
+            return false;
+        };
+        let wants = self.peer(provider).wanted_objects();
+        if wants.is_empty() {
+            return false;
+        }
+        // A peer in the request tree can close a ring if it shares and stores
+        // an object the provider wants.  (Following the paper, the provider
+        // examines its pending requests against what the peers in its request
+        // tree own; it is not limited to the providers its own lookups
+        // sampled.)
+        let rings = RingSearch::new(policy)
+            .with_expansion_budget(self.config.ring_search_budget)
+            .with_fanout(self.config.ring_search_fanout)
+            .find(&self.graph, provider, &wants, |peer, object| {
+                let candidate = self.peer(*peer);
+                candidate.sharing && candidate.storage.contains(*object)
+            });
+        // Try only a handful of candidates: the paper's peers pick the first
+        // feasible exchange rather than exhaustively probing every proposal.
+        for ring in rings.iter().take(8) {
+            if self.activate_ring(provider, ring) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `peer` could take on the upload described by `edge` as part of
+    /// an exchange ring (the token-confirmation predicate).
+    fn can_confirm_ring_member(
+        &self,
+        peer: PeerId,
+        edge: &exchange::RingEdge<PeerId, ObjectId>,
+    ) -> bool {
+        let uploader = self.peer(peer);
+        if !uploader.sharing || !uploader.storage.contains(edge.object) {
+            return false;
+        }
+        let slot_available = uploader.upload_slots.has_free()
+            || (self.config.preemption && self.has_preemptible_upload(peer));
+        if !slot_available {
+            return false;
+        }
+        let downloader = self.peer(edge.downloader);
+        if !downloader.download_slots.has_free() {
+            return false;
+        }
+        if !downloader.wants.contains_key(&edge.object) {
+            return false;
+        }
+        // An identical transfer already part of an exchange means this edge is
+        // already served at exchange priority; re-forming it would double-count.
+        let duplicate_exchange = self
+            .downloads_by_want
+            .get(&(edge.downloader, edge.object))
+            .is_some_and(|tids| {
+                tids.iter().any(|tid| {
+                    self.transfers
+                        .get(tid)
+                        .is_some_and(|t| t.uploader == peer && t.kind.is_exchange())
+                })
+            });
+        !duplicate_exchange
+    }
+
+    /// Validates `ring` with a token pass and, if confirmed, activates it.
+    fn activate_ring(&mut self, initiator: PeerId, ring: &ExchangeRing<PeerId, ObjectId>) -> bool {
+        let token = RingToken::new(initiator);
+        let outcome = token.circulate(ring, |peer, edge| self.can_confirm_ring_member(*peer, edge));
+        if let TokenOutcome::Declined { .. } = outcome {
+            if self.measuring() {
+                self.report.record_token_decline();
+            }
+            return false;
+        }
+
+        let ring_id = self.next_ring_id;
+        self.next_ring_id += 1;
+        let kind = SessionKind::Exchange {
+            ring_size: ring.len(),
+        };
+        let mut created = Vec::new();
+        for edge in ring.edges() {
+            // Replace any ongoing low-priority transfer on the same edge, and
+            // free a slot by preemption if the uploader is saturated.
+            self.preempt_duplicate(edge.uploader, edge.downloader, edge.object);
+            let slot_free = self.peer(edge.uploader).upload_slots.has_free()
+                || (self.config.preemption && self.preempt_one_upload(edge.uploader));
+            if !slot_free {
+                break;
+            }
+            match self.start_transfer(
+                edge.uploader,
+                edge.downloader,
+                edge.object,
+                kind,
+                Some(ring_id),
+            ) {
+                Some(tid) => created.push(tid),
+                None => break,
+            }
+        }
+        if created.len() != ring.len() {
+            // A member became infeasible between confirmation and activation
+            // (e.g. its slot was consumed while activating an earlier edge).
+            for tid in created {
+                self.end_transfer(tid, SessionEnd::RingDissolved);
+            }
+            if self.measuring() {
+                self.report.record_token_decline();
+            }
+            return false;
+        }
+        self.rings
+            .insert(ring_id, super::ActiveRing { transfers: created });
+        if self.measuring() {
+            self.report.record_ring(ring.len());
+        }
+        true
+    }
+
+    /// Ends a low-priority transfer on exactly this edge, if one is running.
+    fn preempt_duplicate(&mut self, uploader: PeerId, downloader: PeerId, object: ObjectId) {
+        let duplicate = self
+            .downloads_by_want
+            .get(&(downloader, object))
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|tid| {
+                self.transfers
+                    .get(tid)
+                    .is_some_and(|t| t.uploader == uploader && !t.kind.is_exchange())
+            });
+        if let Some(tid) = duplicate {
+            self.end_transfer(tid, SessionEnd::Preempted);
+            if self.measuring() {
+                self.report.record_preemption();
+            }
+        }
+    }
+
+    /// Preempts one arbitrary non-exchange upload of `uploader`, freeing a slot.
+    fn preempt_one_upload(&mut self, uploader: PeerId) -> bool {
+        let victim = self
+            .uploads_by_peer
+            .get(&uploader)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|tid| {
+                self.transfers
+                    .get(tid)
+                    .is_some_and(|t| !t.kind.is_exchange())
+            });
+        if let Some(tid) = victim {
+            self.end_transfer(tid, SessionEnd::Preempted);
+            if self.measuring() {
+                self.report.record_preemption();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serves one non-exchange request at `provider`, if any is eligible.
+    ///
+    /// The queue is assembled from the provider's incoming requests and
+    /// handed to the configured [`credit::UploadScheduler`], which picks the
+    /// winner; the simulation itself imposes no ordering policy.
+    fn serve_non_exchange(&mut self, provider: PeerId) -> bool {
+        let now = self.now();
+        // The reciprocation flag costs a storage scan per queued request;
+        // only compute it for schedulers that actually read it.
+        let wants_reciprocal = self.scheduler.needs_reciprocal();
+        let provider_wants = if wants_reciprocal {
+            self.peer(provider).wanted_objects()
+        } else {
+            Vec::new()
+        };
+        let mut queue: Vec<QueuedRequest<PeerId>> = Vec::new();
+        let mut objects: Vec<ObjectId> = Vec::new();
+        for req in self.graph.incoming(provider) {
+            let requester_state = self.peer(req.requester);
+            let Some(want) = requester_state.wants.get(&req.object) else {
+                continue;
+            };
+            if !self.peer(provider).storage.contains(req.object) {
+                continue;
+            }
+            if !requester_state.download_slots.has_free() {
+                continue;
+            }
+            let already_serving = self
+                .downloads_by_want
+                .get(&(req.requester, req.object))
+                .is_some_and(|tids| {
+                    tids.iter().any(|tid| {
+                        self.transfers
+                            .get(tid)
+                            .is_some_and(|t| t.uploader == provider)
+                    })
+                });
+            if already_serving {
+                continue;
+            }
+            let reciprocal = wants_reciprocal
+                && requester_state.sharing
+                && provider_wants
+                    .iter()
+                    .any(|object| requester_state.storage.contains(*object));
+            queue.push(
+                QueuedRequest::new(
+                    req.requester,
+                    now.saturating_since(want.issued_at).as_secs_f64(),
+                )
+                .with_reciprocal(reciprocal),
+            );
+            objects.push(req.object);
+        }
+        if queue.is_empty() {
+            return false;
+        }
+        let Some(index) = self.scheduler.pick(provider, &queue) else {
+            return false;
+        };
+        self.start_transfer(
+            provider,
+            queue[index].requester,
+            objects[index],
+            SessionKind::NonExchange,
+            None,
+        )
+        .is_some()
+    }
+}

@@ -1,0 +1,243 @@
+//! The block-by-block transfer lifecycle and its bookkeeping.
+
+use netsim::TransferSession;
+use workload::{ObjectId, PeerId};
+
+use crate::{SessionEnd, SessionKind};
+
+use super::events::Event;
+use super::{RingId, Simulation, TransferId};
+
+/// One in-flight transfer session.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveTransfer {
+    pub(crate) uploader: PeerId,
+    pub(crate) downloader: PeerId,
+    pub(crate) object: ObjectId,
+    pub(crate) kind: SessionKind,
+    pub(crate) ring: Option<RingId>,
+    pub(crate) session: TransferSession,
+}
+
+/// The transfer sessions forming one activated exchange ring.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveRing {
+    pub(crate) transfers: Vec<TransferId>,
+}
+
+impl Simulation {
+    /// Starts a transfer session, reserving one slot at each end.
+    /// Returns `None` if either side has no capacity.
+    pub(super) fn start_transfer(
+        &mut self,
+        uploader: PeerId,
+        downloader: PeerId,
+        object: ObjectId,
+        kind: SessionKind,
+        ring: Option<RingId>,
+    ) -> Option<TransferId> {
+        if !self.peer(uploader).upload_slots.has_free()
+            || !self.peer(downloader).download_slots.has_free()
+        {
+            return None;
+        }
+        let now = self.now();
+        let waiting_secs = {
+            let want = self.peer(downloader).wants.get(&object)?;
+            now.saturating_since(want.issued_at).as_secs_f64()
+        };
+        self.peer_mut(uploader)
+            .upload_slots
+            .reserve()
+            .expect("checked free upload slot");
+        self.peer_mut(downloader)
+            .download_slots
+            .reserve()
+            .expect("checked free download slot");
+
+        let rate = self.config.link.slot_bytes_per_sec();
+        let session = TransferSession::new(rate, self.config.block_bytes, now);
+        let tid = self.next_transfer_id;
+        self.next_transfer_id += 1;
+        self.transfers.insert(
+            tid,
+            ActiveTransfer {
+                uploader,
+                downloader,
+                object,
+                kind,
+                ring,
+                session,
+            },
+        );
+        self.uploads_by_peer.entry(uploader).or_default().push(tid);
+        self.downloads_by_want
+            .entry((downloader, object))
+            .or_default()
+            .push(tid);
+        if let Some(want) = self.peer_mut(downloader).wants.get_mut(&object) {
+            want.active_sessions += 1;
+        }
+        if self.measuring() {
+            self.report.record_waiting(kind, waiting_secs);
+        }
+
+        let remaining = self.remaining_bytes(downloader, object);
+        let block = session.next_block_bytes(remaining);
+        self.engine
+            .schedule_in(session.block_duration(block), Event::BlockComplete(tid));
+        Some(tid)
+    }
+
+    pub(super) fn remaining_bytes(&self, downloader: PeerId, object: ObjectId) -> u64 {
+        let size = self.catalog.size_bytes(object);
+        let received = self
+            .peer(downloader)
+            .wants
+            .get(&object)
+            .map_or(0, |w| w.received_bytes);
+        size.saturating_sub(received).max(1)
+    }
+
+    pub(super) fn handle_block_complete(&mut self, tid: TransferId) {
+        let Some(transfer) = self.transfers.get(&tid).cloned() else {
+            return; // the session ended before this block event fired
+        };
+        let size = self.catalog.size_bytes(transfer.object);
+        let remaining_before = self.remaining_bytes(transfer.downloader, transfer.object);
+        let block = transfer
+            .session
+            .next_block_bytes(remaining_before)
+            .min(remaining_before);
+
+        // Account the block.
+        if let Some(t) = self.transfers.get_mut(&tid) {
+            t.session.record_block(block);
+        }
+        self.peer_mut(transfer.downloader).downloaded_bytes += block;
+        self.peer_mut(transfer.uploader).uploaded_bytes += block;
+        self.scheduler
+            .on_transfer_complete(transfer.uploader, transfer.downloader, block);
+        let complete = {
+            let want = self
+                .peer_mut(transfer.downloader)
+                .wants
+                .get_mut(&transfer.object);
+            match want {
+                Some(w) => {
+                    w.received_bytes = (w.received_bytes + block).min(size);
+                    w.received_bytes >= size
+                }
+                None => false,
+            }
+        };
+
+        if complete {
+            self.complete_download(transfer.downloader, transfer.object);
+            return;
+        }
+        // The uploader may have evicted the object mid-transfer despite
+        // pinning (defensive; should not happen with pinning enabled).
+        if !self
+            .peer(transfer.uploader)
+            .storage
+            .contains(transfer.object)
+        {
+            self.end_transfer(tid, SessionEnd::SourceLostObject);
+            return;
+        }
+        let remaining = self.remaining_bytes(transfer.downloader, transfer.object);
+        let next_block = transfer.session.next_block_bytes(remaining);
+        self.engine.schedule_in(
+            transfer.session.block_duration(next_block),
+            Event::BlockComplete(tid),
+        );
+    }
+
+    /// Handles the completion of a whole object at `downloader`.
+    fn complete_download(&mut self, downloader: PeerId, object: ObjectId) {
+        let now = self.now();
+        let Some(want) = self.peer_mut(downloader).wants.remove(&object) else {
+            return;
+        };
+        let minutes = now.saturating_since(want.issued_at).as_minutes_f64();
+        let class = self.peer(downloader).class();
+        if self.measuring() {
+            self.report.record_download(class, minutes);
+        }
+
+        // Withdraw every outstanding request for this object.
+        self.graph.remove_object_requests(downloader, object);
+        // The object enters the downloader's store (it may be evicted later by
+        // the periodic maintenance pass).
+        self.peer_mut(downloader).storage.insert(object);
+
+        // Terminate every session that was delivering this object.
+        let sessions: Vec<TransferId> = self
+            .downloads_by_want
+            .get(&(downloader, object))
+            .cloned()
+            .unwrap_or_default();
+        for tid in sessions {
+            self.end_transfer(tid, SessionEnd::DownloadComplete);
+        }
+        self.downloads_by_want.remove(&(downloader, object));
+
+        // Free request budget: ask for something new right away.
+        self.engine
+            .schedule_now(Event::GenerateRequests(downloader));
+    }
+
+    /// Tears down one transfer session and releases its resources.
+    pub(super) fn end_transfer(&mut self, tid: TransferId, reason: SessionEnd) {
+        let Some(transfer) = self.transfers.remove(&tid) else {
+            return;
+        };
+        self.peer_mut(transfer.uploader).upload_slots.release();
+        self.peer_mut(transfer.downloader).download_slots.release();
+        if let Some(want) = self
+            .peer_mut(transfer.downloader)
+            .wants
+            .get_mut(&transfer.object)
+        {
+            want.active_sessions = want.active_sessions.saturating_sub(1);
+        }
+        if let Some(tids) = self.uploads_by_peer.get_mut(&transfer.uploader) {
+            tids.retain(|t| *t != tid);
+        }
+        if let Some(tids) = self
+            .downloads_by_want
+            .get_mut(&(transfer.downloader, transfer.object))
+        {
+            tids.retain(|t| *t != tid);
+        }
+        // Sessions that never moved a byte (typically preempted before their
+        // first block completed) are not counted as sessions in the report;
+        // they would otherwise swamp the per-session distributions.
+        if self.measuring() && transfer.session.bytes_transferred() > 0 {
+            self.report
+                .record_session(transfer.kind, transfer.session.bytes_transferred());
+        }
+
+        // An exchange ring dissolves as soon as any of its sessions ends.
+        if let Some(ring_id) = transfer.ring {
+            if reason != SessionEnd::RingDissolved {
+                self.dissolve_ring(ring_id);
+            }
+        }
+        // The freed upload slot can immediately be refilled.
+        if reason != SessionEnd::HorizonReached {
+            self.engine
+                .schedule_now(Event::TrySchedule(transfer.uploader));
+        }
+    }
+
+    fn dissolve_ring(&mut self, ring_id: RingId) {
+        let Some(ring) = self.rings.remove(&ring_id) else {
+            return;
+        };
+        for tid in ring.transfers {
+            self.end_transfer(tid, SessionEnd::RingDissolved);
+        }
+    }
+}

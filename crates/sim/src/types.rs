@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn kinds_order_deterministically() {
-        let mut kinds = vec![
+        let mut kinds = [
             SessionKind::Exchange { ring_size: 3 },
             SessionKind::NonExchange,
             SessionKind::Exchange { ring_size: 2 },

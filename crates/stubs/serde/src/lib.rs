@@ -1,0 +1,9 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! crate only re-exports the no-op `Serialize` / `Deserialize` derives from
+//! the sibling `serde_derive` stub.  Config types keep their derive
+//! annotations; replacing the two stubs with the real crates re-enables
+//! serialization everywhere at once.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -197,7 +197,9 @@ mod tests {
     fn all_objects_have_configured_size() {
         let config = WorkloadConfig::small();
         let catalog = Catalog::generate(&config, &mut DetRng::seed_from(7));
-        assert!(catalog.iter().all(|o| o.size_bytes == config.object_size_bytes));
+        assert!(catalog
+            .iter()
+            .all(|o| o.size_bytes == config.object_size_bytes));
         assert_eq!(
             catalog.size_bytes(ObjectId::new(0)),
             config.object_size_bytes

@@ -80,7 +80,9 @@ impl WorkloadConfig {
             ("storage_capacity_objects", self.storage_capacity_objects),
         ] {
             if lo == 0 || lo > hi {
-                return Err(format!("{name} range ({lo}, {hi}) must satisfy 1 <= lo <= hi"));
+                return Err(format!(
+                    "{name} range ({lo}, {hi}) must satisfy 1 <= lo <= hi"
+                ));
             }
         }
         if self.categories_per_peer.1 > self.num_categories {
@@ -90,7 +92,10 @@ impl WorkloadConfig {
             ));
         }
         for (name, f) in [
-            ("category_popularity_factor", self.category_popularity_factor),
+            (
+                "category_popularity_factor",
+                self.category_popularity_factor,
+            ),
             ("object_popularity_factor", self.object_popularity_factor),
         ] {
             if !f.is_finite() || f < 0.0 {

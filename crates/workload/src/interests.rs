@@ -50,13 +50,17 @@ impl PeerInterests {
     /// Panics if `count` is zero.
     #[must_use]
     pub fn generate_with_count(catalog: &Catalog, count: usize, rng: &mut DetRng) -> Self {
-        assert!(count > 0, "a peer must be interested in at least one category");
+        assert!(
+            count > 0,
+            "a peer must be interested in at least one category"
+        );
         let count = count.min(catalog.num_categories());
         let weights = catalog.category_weights();
         let mut categories: Vec<CategoryId> = Vec::with_capacity(count);
         // Sample distinct categories proportionally to global popularity.
-        let mut remaining: Vec<(usize, f64)> =
-            (0..catalog.num_categories()).map(|i| (i, weights.weight(i))).collect();
+        let mut remaining: Vec<(usize, f64)> = (0..catalog.num_categories())
+            .map(|i| (i, weights.weight(i)))
+            .collect();
         for _ in 0..count {
             let ws: Vec<f64> = remaining.iter().map(|(_, w)| *w).collect();
             let pick = rng
@@ -65,7 +69,9 @@ impl PeerInterests {
             let (cat_index, _) = remaining.swap_remove(pick);
             categories.push(CategoryId::new(cat_index as u32));
         }
-        let local_preference: Vec<f64> = (0..categories.len()).map(|_| rng.gen_unit().max(1e-6)).collect();
+        let local_preference: Vec<f64> = (0..categories.len())
+            .map(|_| rng.gen_unit().max(1e-6))
+            .collect();
         PeerInterests {
             categories,
             local_preference,
@@ -122,8 +128,15 @@ mod tests {
             let mut seen = interests.categories().to_vec();
             seen.sort();
             seen.dedup();
-            assert_eq!(seen.len(), interests.categories().len(), "categories must be distinct");
-            assert_eq!(interests.local_preference().len(), interests.categories().len());
+            assert_eq!(
+                seen.len(),
+                interests.categories().len(),
+                "categories must be distinct"
+            );
+            assert_eq!(
+                interests.local_preference().len(),
+                interests.categories().len()
+            );
         }
     }
 

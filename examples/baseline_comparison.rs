@@ -1,8 +1,10 @@
-//! Exchange incentives vs. the credit-style baselines of Section II.
+//! Exchange incentives vs. the scheduler baselines of Section II.
 //!
-//! Runs the same workload under (a) no incentive, (b) eMule-style pairwise
-//! credit, (c) BitTorrent-style tit-for-tat and (d) the paper's 2-5-way
-//! exchange discipline, and compares how well each rewards sharing peers.
+//! Runs the same workload under every pluggable upload scheduler — FIFO,
+//! eMule-style credit, BitTorrent-style tit-for-tat, KaZaA-style
+//! participation level and exchange-priority ordering — plus the paper's
+//! 2-5-way ring discipline, and compares how well each rewards sharing
+//! peers.  The whole comparison is one parallel multi-seed scenario run.
 //!
 //! ```text
 //! cargo run --release --example baseline_comparison
@@ -10,7 +12,7 @@
 
 use p2p_exchange::exchange::ExchangePolicy;
 use p2p_exchange::metrics::Table;
-use p2p_exchange::sim::{FallbackOrder, PeerClass, SimConfig, Simulation};
+use p2p_exchange::sim::{Axis, PeerClass, Scenario, SchedulerKind, SimConfig, SimReport};
 
 fn main() {
     let mut base = SimConfig::quick_test();
@@ -18,14 +20,34 @@ fn main() {
     base.sim_duration_s = 8_000.0;
     base.max_pending_objects = 6;
     base.link.upload_kbps = 40.0;
+    // Isolate the schedulers: no exchange rings unless a setup turns them on.
+    base.discipline = ExchangePolicy::NoExchange;
 
-    // (label, discipline, fallback ordering of non-exchange requests)
-    let setups = [
-        ("fifo (no incentive)", ExchangePolicy::NoExchange, FallbackOrder::Fifo),
-        ("emule credit", ExchangePolicy::NoExchange, FallbackOrder::EmuleCredit),
-        ("tit-for-tat", ExchangePolicy::NoExchange, FallbackOrder::TitForTat),
-        ("2-5-way exchange", ExchangePolicy::two_five_way(), FallbackOrder::Fifo),
-    ];
+    let seeds = 55..58;
+    let grid = Scenario::from(base.clone())
+        .vary(
+            Axis::custom("incentive")
+                .with_variant("fifo (no incentive)", |c: &mut SimConfig| {
+                    c.scheduler = SchedulerKind::Fifo;
+                })
+                .with_variant("emule credit", |c: &mut SimConfig| {
+                    c.scheduler = SchedulerKind::EmuleCredit;
+                })
+                .with_variant("tit-for-tat", |c: &mut SimConfig| {
+                    c.scheduler = SchedulerKind::TitForTat;
+                })
+                .with_variant("participation level", |c: &mut SimConfig| {
+                    c.scheduler = SchedulerKind::ParticipationLevel;
+                })
+                .with_variant("exchange-priority queue", |c: &mut SimConfig| {
+                    c.scheduler = SchedulerKind::ExchangePriority;
+                })
+                .with_variant("2-5-way exchange rings", |c: &mut SimConfig| {
+                    c.discipline = ExchangePolicy::two_five_way();
+                }),
+        )
+        .seeds(seeds.clone())
+        .run();
 
     let mut table = Table::new(vec![
         "incentive mechanism",
@@ -33,24 +55,28 @@ fn main() {
         "non-sharing (min)",
         "non-sharing / sharing",
     ]);
-    for (label, discipline, fallback) in setups {
-        let mut config = base.clone();
-        config.discipline = discipline;
-        config.fallback = fallback;
-        let report = Simulation::new(config, 55).run();
-        let sharing = report.mean_download_time_min(PeerClass::Sharing);
-        let non_sharing = report.mean_download_time_min(PeerClass::NonSharing);
-        let ratio = report.download_time_ratio();
+    let fmt = |v: Option<p2p_exchange::sim::Aggregate>| {
+        v.map_or("n/a".into(), |a| format!("{:.1}±{:.1}", a.mean, a.ci95))
+    };
+    for point in grid.points() {
         table.add_row(vec![
-            label.to_string(),
-            sharing.map_or("n/a".into(), |v| format!("{v:.1}")),
-            non_sharing.map_or("n/a".into(), |v| format!("{v:.1}")),
-            ratio.map_or("n/a".into(), |v| format!("{v:.2}")),
+            point.label.replace("incentive=", ""),
+            fmt(grid.aggregate(point.index, |r| {
+                r.mean_download_time_min(PeerClass::Sharing)
+            })),
+            fmt(grid.aggregate(point.index, |r| {
+                r.mean_download_time_min(PeerClass::NonSharing)
+            })),
+            fmt(grid.aggregate(point.index, SimReport::download_time_ratio)),
         ]);
     }
-    println!("Incentive mechanisms compared ({} peers, 40 kbit/s upload, seed 55)\n", base.num_peers);
+    println!(
+        "Incentive mechanisms compared ({} peers, 40 kbit/s upload, seeds {}..{})\n",
+        base.num_peers, seeds.start, seeds.end
+    );
     println!("{table}");
     println!("The exchange discipline rewards sharing peers directly with simultaneous");
-    println!("transfers; the credit baselines only modulate queueing order, which the paper");
-    println!("argues (Section II) provides much weaker differentiation.");
+    println!("transfers; the queue-order baselines (including the trivially subvertible");
+    println!("participation level) only modulate waiting, which the paper argues");
+    println!("(Section II) provides much weaker differentiation.");
 }

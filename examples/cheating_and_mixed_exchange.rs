@@ -30,19 +30,33 @@ fn main() {
         );
     }
     exchange.on_invalid_block();
-    println!("after one junk block: window collapses to {}", exchange.window());
+    println!(
+        "after one junk block: window collapses to {}",
+        exchange.window()
+    );
     println!(
         "worst-case cheater gain with window 8: {} KiB\n",
         max_cheater_gain_bytes(block, 8) / 1024
     );
 
     println!("== Trusted mediator vs the freeriding middleman ==");
-    let a_to_b = vec![EncryptedBlock { origin: 1u32, intended_recipient: 2, valid: true }];
-    let b_to_a = vec![EncryptedBlock { origin: 2u32, intended_recipient: 1, valid: true }];
+    let a_to_b = vec![EncryptedBlock {
+        origin: 1u32,
+        intended_recipient: 2,
+        valid: true,
+    }];
+    let b_to_a = vec![EncryptedBlock {
+        origin: 2u32,
+        intended_recipient: 1,
+        valid: true,
+    }];
     let outcome = Mediator::default().mediate(&a_to_b, &b_to_a);
     println!("peer 1 can decrypt: {}", outcome.can_decrypt(&1));
     println!("peer 2 can decrypt: {}", outcome.can_decrypt(&2));
-    println!("relaying middleman (peer 9) can decrypt: {}", outcome.can_decrypt(&9));
+    println!(
+        "relaying middleman (peer 9) can decrypt: {}",
+        outcome.can_decrypt(&9)
+    );
     println!(
         "middleman attack succeeds without mediation: {}, with mediation: {}\n",
         middleman_attack_succeeds(false),
@@ -51,10 +65,30 @@ fn main() {
 
     println!("== Mixed object + capacity exchange (Table I / Figure 3) ==");
     let specs = vec![
-        PeerSpec { peer: "A", upload_capacity: 10.0, has: vec![], wants: vec!['x'] },
-        PeerSpec { peer: "B", upload_capacity: 5.0, has: vec!['x'], wants: vec!['y'] },
-        PeerSpec { peer: "C", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
-        PeerSpec { peer: "D", upload_capacity: 10.0, has: vec!['y'], wants: vec!['x'] },
+        PeerSpec {
+            peer: "A",
+            upload_capacity: 10.0,
+            has: vec![],
+            wants: vec!['x'],
+        },
+        PeerSpec {
+            peer: "B",
+            upload_capacity: 5.0,
+            has: vec!['x'],
+            wants: vec!['y'],
+        },
+        PeerSpec {
+            peer: "C",
+            upload_capacity: 10.0,
+            has: vec!['y'],
+            wants: vec!['x'],
+        },
+        PeerSpec {
+            peer: "D",
+            upload_capacity: 10.0,
+            has: vec!['y'],
+            wants: vec!['x'],
+        },
     ];
     let pure = pure_exchange_rates(&specs);
     let plan = plan_mixed_exchange(&specs).expect("Table I structure");

@@ -2,7 +2,8 @@
 //!
 //! A scaled-down version of the paper's Figure 12 experiment: sweep the
 //! fraction of non-sharing peers and compare the no-exchange baseline with
-//! the 2-5-way exchange discipline.
+//! the 2-5-way exchange discipline — one scenario run, parallel across the
+//! grid and seeds.
 //!
 //! ```text
 //! cargo run --release --example freerider_impact
@@ -10,8 +11,8 @@
 
 use p2p_exchange::exchange::ExchangePolicy;
 use p2p_exchange::metrics::Table;
-use p2p_exchange::sim::experiment::freerider_sweep;
-use p2p_exchange::sim::SimConfig;
+use p2p_exchange::sim::experiment::freerider_scenario;
+use p2p_exchange::sim::{PeerClass, SimConfig};
 
 fn main() {
     let mut base = SimConfig::quick_test();
@@ -22,9 +23,13 @@ fn main() {
 
     let policies = [ExchangePolicy::NoExchange, ExchangePolicy::two_five_way()];
     let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let points = freerider_sweep(&base, &policies, &fractions, 21);
+    let grid = freerider_scenario(&base, &policies, &fractions)
+        .seeds(21..23)
+        .run();
 
-    let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.1}"));
+    let fmt = |v: Option<p2p_exchange::sim::Aggregate>| {
+        v.map_or("n/a".to_string(), |a| format!("{:.1}", a.mean))
+    };
     let mut table = Table::new(vec![
         "non-sharing fraction",
         "no-exchange (min)",
@@ -32,22 +37,30 @@ fn main() {
         "2-5-way non-sharing (min)",
     ]);
     for &fraction in &fractions {
-        let at = |policy: ExchangePolicy| {
-            points
-                .iter()
-                .find(|p| p.freerider_fraction == fraction && p.policy == policy)
-                .expect("point exists")
+        let fraction_label = format!("{fraction}");
+        let mean = |policy: &ExchangePolicy, class: PeerClass| {
+            grid.aggregate_where(
+                &[
+                    ("freerider_fraction", fraction_label.as_str()),
+                    ("discipline", &policy.label()),
+                ],
+                |r| r.mean_download_time_min(class),
+            )
         };
-        let baseline = at(ExchangePolicy::NoExchange);
-        let exchange = at(ExchangePolicy::two_five_way());
+        let baseline = &ExchangePolicy::NoExchange;
+        let exchange = &ExchangePolicy::two_five_way();
         table.add_row(vec![
             format!("{fraction:.1}"),
-            fmt(baseline.sharing_min.or(baseline.non_sharing_min)),
-            fmt(exchange.sharing_min),
-            fmt(exchange.non_sharing_min),
+            fmt(mean(baseline, PeerClass::Sharing)
+                .or_else(|| mean(baseline, PeerClass::NonSharing))),
+            fmt(mean(exchange, PeerClass::Sharing)),
+            fmt(mean(exchange, PeerClass::NonSharing)),
         ]);
     }
-    println!("Impact of the free-rider fraction ({} peers, 40 kbit/s upload)\n", base.num_peers);
+    println!(
+        "Impact of the free-rider fraction ({} peers, 40 kbit/s upload)\n",
+        base.num_peers
+    );
     println!("{table}");
     println!("Whatever the population mix, peers that share download faster than peers that");
     println!("do not — the persistent gap the paper reports in Figure 12.");

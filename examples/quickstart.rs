@@ -1,6 +1,6 @@
-//! Quickstart: run one small exchange-enabled simulation and print the
-//! headline numbers the paper is about — how much better sharing peers do
-//! than free-riders.
+//! Quickstart: sweep the four exchange disciplines with the scenario engine
+//! and print the headline numbers the paper is about — how much better
+//! sharing peers do than free-riders.
 //!
 //! Run with:
 //!
@@ -9,7 +9,7 @@
 //! ```
 
 use p2p_exchange::metrics::Table;
-use p2p_exchange::sim::{ExchangeDiscipline, PeerClass, SimConfig, Simulation};
+use p2p_exchange::sim::{ExchangeDiscipline, PeerClass, Scenario, SimConfig};
 
 fn main() {
     // A scaled-down system (the paper's Table II uses 200 peers and 20 MB
@@ -18,6 +18,17 @@ fn main() {
     let mut config = SimConfig::quick_test();
     config.num_peers = 60;
     config.sim_duration_s = 6_000.0;
+
+    // One builder call: 4 disciplines x 1 seed, executed in parallel.
+    let grid = Scenario::from(config.clone())
+        .disciplines([
+            ExchangeDiscipline::NoExchange,
+            ExchangeDiscipline::Pairwise,
+            ExchangeDiscipline::five_two_way(),
+            ExchangeDiscipline::two_five_way(),
+        ])
+        .seeds([42])
+        .run();
 
     let mut table = Table::new(vec![
         "discipline",
@@ -28,16 +39,8 @@ fn main() {
         "rings",
     ]);
 
-    for discipline in [
-        ExchangeDiscipline::NoExchange,
-        ExchangeDiscipline::Pairwise,
-        ExchangeDiscipline::five_two_way(),
-        ExchangeDiscipline::two_five_way(),
-    ] {
-        let mut run_config = config.clone();
-        run_config.discipline = discipline;
-        let report = Simulation::new(run_config, 42).run();
-
+    for row in grid.rows() {
+        let report = &row.report;
         let sharing = report
             .mean_download_time_min(PeerClass::Sharing)
             .unwrap_or(f64::NAN);
@@ -45,7 +48,10 @@ fn main() {
             .mean_download_time_min(PeerClass::NonSharing)
             .unwrap_or(f64::NAN);
         table.add_row(vec![
-            discipline.label(),
+            grid.point(row.point)
+                .value("discipline")
+                .unwrap_or("?")
+                .to_string(),
             format!("{sharing:.1}"),
             format!("{non_sharing:.1}"),
             format!("{:.2}", non_sharing / sharing),
@@ -54,7 +60,10 @@ fn main() {
         ]);
     }
 
-    println!("Mean object download time by peer class ({} peers, seed 42)\n", config.num_peers);
+    println!(
+        "Mean object download time by peer class ({} peers, seed 42)\n",
+        config.num_peers
+    );
     println!("{table}");
     println!("A ratio above 1 means free-riders wait longer than sharing peers —");
     println!("the incentive the exchange mechanism is designed to create.");

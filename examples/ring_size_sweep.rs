@@ -1,7 +1,8 @@
 //! How much do higher-order exchange rings add over pairwise swaps?
 //!
 //! A scaled-down version of the paper's Figure 6 experiment: sweep the
-//! maximum ring size N for both search orders and report the download-time
+//! maximum ring size N for both search orders (one scenario run, parallel
+//! across configurations and seeds) and report the download-time
 //! differentiation between sharing and non-sharing peers.
 //!
 //! ```text
@@ -9,8 +10,8 @@
 //! ```
 
 use p2p_exchange::metrics::Table;
-use p2p_exchange::sim::experiment::ring_size_sweep;
-use p2p_exchange::sim::SimConfig;
+use p2p_exchange::sim::experiment::ring_size_scenario;
+use p2p_exchange::sim::{PeerClass, SimConfig};
 
 fn main() {
     let mut base = SimConfig::quick_test();
@@ -20,9 +21,11 @@ fn main() {
     base.link.upload_kbps = 40.0;
 
     let sizes = [2usize, 3, 4, 5, 6];
-    let points = ring_size_sweep(&base, &sizes, 33);
+    let grid = ring_size_scenario(&base, &sizes).seeds(33..35).run();
 
-    let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.1}"));
+    let fmt = |v: Option<p2p_exchange::sim::Aggregate>| {
+        v.map_or("n/a".to_string(), |a| format!("{:.1}", a.mean))
+    };
     let mut table = Table::new(vec![
         "max ring N",
         "N-2-way sharing",
@@ -31,18 +34,33 @@ fn main() {
         "2-N-way non-sharing",
     ]);
     for &n in &sizes {
-        let get = |longer: bool| points.iter().find(|p| p.max_ring == n && p.prefer_longer == longer);
-        let longer = get(true).expect("point exists");
-        let shorter = get(false).expect("point exists");
+        let longer = if n == 2 {
+            "pairwise".to_string()
+        } else {
+            format!("{n}-2-way")
+        };
+        let shorter = if n == 2 {
+            "pairwise".to_string()
+        } else {
+            format!("2-{n}-way")
+        };
+        let mean = |discipline: &str, class: PeerClass| {
+            grid.aggregate_where(&[("discipline", discipline)], |r| {
+                r.mean_download_time_min(class)
+            })
+        };
         table.add_row(vec![
             n.to_string(),
-            fmt(longer.sharing_min),
-            fmt(longer.non_sharing_min),
-            fmt(shorter.sharing_min),
-            fmt(shorter.non_sharing_min),
+            fmt(mean(&longer, PeerClass::Sharing)),
+            fmt(mean(&longer, PeerClass::NonSharing)),
+            fmt(mean(&shorter, PeerClass::Sharing)),
+            fmt(mean(&shorter, PeerClass::NonSharing)),
         ]);
     }
-    println!("Effect of the maximum exchange ring size ({} peers, 40 kbit/s upload)\n", base.num_peers);
+    println!(
+        "Effect of the maximum exchange ring size ({} peers, 40 kbit/s upload)\n",
+        base.num_peers
+    );
     println!("{table}");
     println!("N = 2 is pairwise-only; allowing 3-way rings improves the sharers' advantage,");
     println!("while much larger rings add little — the paper's Figure 6 observation.");

@@ -5,8 +5,8 @@
 use p2p_exchange::bloom::BloomParams;
 use p2p_exchange::des::DetRng;
 use p2p_exchange::exchange::{
-    find_rings, BloomRingIndex, ExchangeRing, RequestGraph, RequestTree, RingPreference,
-    RingToken, SearchPolicy,
+    find_rings, BloomRingIndex, ExchangeRing, RequestGraph, RequestTree, RingPreference, RingToken,
+    SearchPolicy,
 };
 
 /// Builds a reproducible random request graph over `peers` peers.
@@ -27,7 +27,7 @@ fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
 /// Ownership oracle used across the tests: peer `p` owns object `o` iff
 /// `(p + o)` is divisible by 7 — arbitrary but deterministic and sparse.
 fn owns(p: &u32, o: &u32) -> bool {
-    (p + o) % 7 == 0
+    (p + o).is_multiple_of(7)
 }
 
 #[test]
@@ -58,12 +58,8 @@ fn bloom_summary_never_misses_a_peer_the_exact_tree_contains() {
     let graph = random_graph(60, 600, 2);
     for root in 0..60u32 {
         let tree = RequestTree::build(&graph, root, 4);
-        let index = BloomRingIndex::build_with_params(
-            &graph,
-            root,
-            4,
-            BloomParams::optimal(512, 0.01),
-        );
+        let index =
+            BloomRingIndex::build_with_params(&graph, root, 4, BloomParams::optimal(512, 0.01));
         for node in tree.nodes() {
             assert!(
                 index.may_contain(&node.peer),
@@ -120,7 +116,10 @@ fn declined_member_blocks_activation_and_reports_position() {
     let ring: &ExchangeRing<u32, u32> = &rings[0];
     let outcome = RingToken::new(0).circulate(ring, |peer, _| *peer != 1);
     match outcome {
-        p2p_exchange::exchange::TokenOutcome::Declined { peer, confirmed_before } => {
+        p2p_exchange::exchange::TokenOutcome::Declined {
+            peer,
+            confirmed_before,
+        } => {
             assert_eq!(peer, 1);
             assert_eq!(confirmed_before, 0);
         }
@@ -144,10 +143,18 @@ fn windowed_validation_and_mediator_compose() {
     assert_eq!(b_side.window(), 4);
 
     let a_blocks: Vec<EncryptedBlock<u32>> = (0..4)
-        .map(|_| EncryptedBlock { origin: 1, intended_recipient: 2, valid: true })
+        .map(|_| EncryptedBlock {
+            origin: 1,
+            intended_recipient: 2,
+            valid: true,
+        })
         .collect();
     let b_blocks: Vec<EncryptedBlock<u32>> = (0..4)
-        .map(|_| EncryptedBlock { origin: 2, intended_recipient: 1, valid: true })
+        .map(|_| EncryptedBlock {
+            origin: 2,
+            intended_recipient: 1,
+            valid: true,
+        })
         .collect();
     let outcome = Mediator::new(2).mediate(&a_blocks, &b_blocks);
     assert!(outcome.can_decrypt(&1));

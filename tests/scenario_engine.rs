@@ -1,0 +1,109 @@
+//! End-to-end tests of the builder-style scenario engine through the
+//! public facade: grid shape, parallel multi-seed execution, aggregation.
+
+use p2p_exchange::exchange::ExchangePolicy;
+use p2p_exchange::sim::experiment::capacity_scenario;
+use p2p_exchange::sim::{Axis, PeerClass, Scenario, SimConfig, Simulation};
+
+fn tiny_base() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 20;
+    config.sim_duration_s = 1_000.0;
+    config
+}
+
+#[test]
+fn figure_4_and_5_capacity_sweep_in_one_builder_call() {
+    // The acceptance scenario of the API redesign: the Figure 4/5 sweep,
+    // three seeds per point, run in parallel, aggregated per point.
+    let capacities = [60.0, 100.0];
+    let policies = [ExchangePolicy::NoExchange, ExchangePolicy::two_five_way()];
+    let grid = capacity_scenario(&tiny_base(), &policies, &capacities)
+        .seeds(0..3)
+        .run();
+
+    assert_eq!(grid.points().len(), 4);
+    assert_eq!(grid.rows().len(), 12, "4 grid points x 3 seeds");
+    assert_eq!(grid.seeds(), &[0, 1, 2]);
+
+    for point in grid.points() {
+        let downloads = grid
+            .aggregate(point.index, |r| Some(r.completed_downloads() as f64))
+            .expect("every run reports download counts");
+        assert_eq!(
+            downloads.n, 3,
+            "all three seeds aggregate at {}",
+            point.label
+        );
+        assert!(
+            downloads.mean > 0.0,
+            "downloads complete at {}",
+            point.label
+        );
+
+        let fraction = grid
+            .aggregate(point.index, |r| Some(r.exchange_session_fraction()))
+            .unwrap();
+        if point.value("discipline") == Some("no-exchange") {
+            assert_eq!(fraction.mean, 0.0);
+        }
+    }
+
+    // Figure 5's headline: a loaded system exchanges at least as much.
+    let loaded = grid
+        .aggregate_where(&[("upload_kbps", "60"), ("discipline", "2-5-way")], |r| {
+            Some(r.exchange_session_fraction())
+        })
+        .unwrap();
+    let light = grid
+        .aggregate_where(&[("upload_kbps", "100"), ("discipline", "2-5-way")], |r| {
+            Some(r.exchange_session_fraction())
+        })
+        .unwrap();
+    assert!(
+        loaded.mean >= light.mean * 0.5,
+        "exchange fraction should not collapse under load (loaded {:.3}, light {:.3})",
+        loaded.mean,
+        light.mean
+    );
+}
+
+#[test]
+fn grid_rows_match_standalone_runs_exactly() {
+    let grid = Scenario::from(tiny_base())
+        .vary(Axis::UploadKbps(vec![50.0, 90.0]))
+        .seeds([3, 4])
+        .run();
+    for row in grid.rows() {
+        let standalone = Simulation::new(grid.point(row.point).config.clone(), row.seed).run();
+        assert_eq!(
+            row.report.completed_downloads(),
+            standalone.completed_downloads()
+        );
+        assert_eq!(row.report.total_sessions(), standalone.total_sessions());
+        assert_eq!(row.report.total_rings(), standalone.total_rings());
+        assert_eq!(
+            row.report.mean_download_time_min(PeerClass::Sharing),
+            standalone.mean_download_time_min(PeerClass::Sharing)
+        );
+    }
+}
+
+#[test]
+fn multi_axis_grids_compose_with_custom_axes() {
+    let grid = Scenario::from(tiny_base())
+        .vary(Axis::FreeriderFraction(vec![0.25, 0.5]))
+        .vary(
+            Axis::custom("preemption")
+                .with_variant("on", |c: &mut SimConfig| c.preemption = true)
+                .with_variant("off", |c: &mut SimConfig| c.preemption = false),
+        )
+        .seeds([8])
+        .run();
+    assert_eq!(grid.points().len(), 4);
+    let off = grid
+        .find_point(&[("freerider_fraction", "0.5"), ("preemption", "off")])
+        .expect("the cross product contains every combination");
+    assert!(!off.config.preemption);
+    assert_eq!(off.config.freerider_fraction, 0.5);
+}

@@ -83,7 +83,9 @@ fn per_peer_volume_accounts_for_every_class_present() {
     // Volumes are recorded for every peer at the end of the run, so both
     // classes must be present (even if some peers downloaded nothing).
     assert!(report.mean_volume_per_peer_mb(PeerClass::Sharing).is_some());
-    assert!(report.mean_volume_per_peer_mb(PeerClass::NonSharing).is_some());
+    assert!(report
+        .mean_volume_per_peer_mb(PeerClass::NonSharing)
+        .is_some());
 }
 
 #[test]
