@@ -1,8 +1,11 @@
-//! Micro-benchmarks of the exchange ring search on synthetic request graphs.
+//! Micro-benchmarks of the exchange ring search on synthetic request graphs,
+//! including the cached-vs-fresh comparison of the incremental engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use des::DetRng;
 use exchange::{RequestGraph, RingPreference, RingSearch, SearchPolicy};
+use sim::RingCandidateCache;
+use workload::{ObjectId, PeerId};
 
 /// Builds a random request graph with `peers` peers and `edges` requests.
 fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
@@ -49,5 +52,119 @@ fn bench_ring_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring_search);
+/// Builds a random request graph over typed ids (the cache is typed to the
+/// simulator's `PeerId`/`ObjectId`).
+fn random_typed_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<PeerId, ObjectId> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut graph = RequestGraph::new();
+    while graph.len() < edges {
+        let requester = rng.gen_range(0..peers);
+        let provider = rng.gen_range(0..peers);
+        if requester == provider {
+            continue;
+        }
+        let object = rng.gen_range(0u32..1_000);
+        graph.add_request(
+            PeerId::new(requester),
+            PeerId::new(provider),
+            ObjectId::new(object),
+        );
+    }
+    graph.take_dirty();
+    graph
+}
+
+/// Scheduling-round workload: repeated ring queries at rotating providers
+/// (three per round, like the scheduling loop probing a provider more than
+/// once) interleaved with request-graph deltas every few rounds.  Compares
+/// a fresh BFS per query against the `RingCandidateCache`.
+fn bench_cached_vs_fresh(c: &mut Criterion) {
+    const PEERS: u32 = 200;
+    const EDGES: usize = 6_000; // paper-sized IRQ load (Table II scale)
+    const ROUNDS: usize = 200;
+    const QUERIES_PER_ROUND: usize = 3;
+    const DELTA_EVERY: usize = 8;
+
+    let base = random_typed_graph(PEERS, EDGES, 7);
+    let wants: Vec<Vec<ObjectId>> = (0..PEERS)
+        .map(|p| {
+            (0..6)
+                .map(|i| ObjectId::new((p * 37 + i * 91) % 1_000))
+                .collect()
+        })
+        .collect();
+    // Ownership oracle: a third of (peer, object) pairs provide.
+    let provides = |p: &PeerId, o: &ObjectId| (p.as_usize() + o.as_usize()).is_multiple_of(3);
+    // Pre-drawn deltas so both variants replay the identical mutation stream.
+    let mut rng = DetRng::seed_from(11);
+    let deltas: Vec<(PeerId, PeerId, ObjectId)> = (0..ROUNDS / DELTA_EVERY + 1)
+        .map(|_| {
+            let requester = rng.gen_range(0..PEERS);
+            let provider = (requester + 1 + rng.gen_range(0..PEERS - 1)) % PEERS;
+            (
+                PeerId::new(requester),
+                PeerId::new(provider),
+                ObjectId::new(rng.gen_range(0u32..1_000)),
+            )
+        })
+        .collect();
+    let search = RingSearch::new(SearchPolicy::new(5, RingPreference::ShorterFirst))
+        .with_expansion_budget(6_000)
+        .with_fanout(16);
+
+    let mut group = c.benchmark_group("ring_search_rounds");
+    group.sample_size(10);
+    group.bench_function("fresh_per_query", |b| {
+        b.iter(|| {
+            let mut graph = base.clone();
+            let mut total = 0usize;
+            for round in 0..ROUNDS {
+                if round % DELTA_EVERY == 0 {
+                    let (r, p, o) = deltas[round / DELTA_EVERY];
+                    if !graph.remove_request(r, p, o) {
+                        graph.add_request(r, p, o);
+                    }
+                }
+                let provider = PeerId::new((round as u32 * 7) % PEERS);
+                for _ in 0..QUERIES_PER_ROUND {
+                    total += search
+                        .find(&graph, provider, &wants[provider.as_usize()], provides)
+                        .len();
+                }
+            }
+            total
+        });
+    });
+    group.bench_function("candidate_cache", |b| {
+        b.iter(|| {
+            let mut graph = base.clone();
+            let mut cache = RingCandidateCache::new();
+            let mut total = 0usize;
+            for round in 0..ROUNDS {
+                if round % DELTA_EVERY == 0 {
+                    let (r, p, o) = deltas[round / DELTA_EVERY];
+                    if !graph.remove_request(r, p, o) {
+                        graph.add_request(r, p, o);
+                    }
+                }
+                let provider = PeerId::new((round as u32 * 7) % PEERS);
+                let want = &wants[provider.as_usize()];
+                for _ in 0..QUERIES_PER_ROUND {
+                    cache.apply_graph_deltas(&mut graph);
+                    if let Some(rings) = cache.lookup(provider, want) {
+                        total += rings.len();
+                    } else {
+                        let trace = search.find_traced(&graph, provider, want, provides);
+                        total += trace.rings.len();
+                        cache.store(provider, want.clone(), trace);
+                    }
+                }
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_search, bench_cached_vs_fresh);
 criterion_main!(benches);

@@ -25,6 +25,12 @@ pub struct Request<P, O> {
 /// incoming-request queue) and by requester (a peer's outgoing requests), so
 /// both the ring search and request-queue maintenance are cheap.
 ///
+/// For incremental consumers (candidate caches keyed on search results), the
+/// graph tracks a monotonically increasing [`generation`](Self::generation)
+/// and a *dirty set* of peers whose incident edges changed since the set was
+/// last [drained](Self::take_dirty).  Equality ignores both: two graphs with
+/// the same edges compare equal regardless of their mutation history.
+///
 /// # Example
 ///
 /// ```
@@ -35,15 +41,29 @@ pub struct Request<P, O> {
 /// assert!(g.has_request("alice", "bob", 7));
 /// assert_eq!(g.incoming("bob").count(), 1);
 /// assert_eq!(g.outgoing("alice").count(), 1);
+/// assert!(g.take_dirty().into_iter().eq(["alice", "bob"]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RequestGraph<P: Key, O: Key> {
     /// provider -> set of (requester, object)
     incoming: BTreeMap<P, BTreeSet<(P, O)>>,
     /// requester -> set of (provider, object)
     outgoing: BTreeMap<P, BTreeSet<(P, O)>>,
     len: usize,
+    /// Bumped on every successful mutation.
+    generation: u64,
+    /// Peers whose incident edge set changed since the last `take_dirty`.
+    dirty: BTreeSet<P>,
 }
+
+impl<P: Key, O: Key> PartialEq for RequestGraph<P, O> {
+    fn eq(&self, other: &Self) -> bool {
+        // Mutation-tracking state is bookkeeping, not graph identity.
+        self.incoming == other.incoming && self.outgoing == other.outgoing
+    }
+}
+
+impl<P: Key, O: Key> Eq for RequestGraph<P, O> {}
 
 impl<P: Key, O: Key> RequestGraph<P, O> {
     /// Creates an empty graph.
@@ -53,7 +73,40 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
             incoming: BTreeMap::new(),
             outgoing: BTreeMap::new(),
             len: 0,
+            generation: 0,
+            dirty: BTreeSet::new(),
         }
+    }
+
+    /// A counter bumped on every successful mutation.
+    ///
+    /// Consumers that cache derived data (e.g. ring-search candidates) can
+    /// compare generations to detect that *something* changed; the
+    /// [dirty set](Self::take_dirty) says *which peers* changed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drains and returns the set of peers whose incident edges changed since
+    /// the last call (both endpoints of every added or removed edge).
+    ///
+    /// Incremental consumers call this once per query round and invalidate
+    /// whatever they derived from the returned peers' neighbourhoods.
+    pub fn take_dirty(&mut self) -> BTreeSet<P> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Whether any mutation happened since the last [`take_dirty`](Self::take_dirty).
+    #[must_use]
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    fn mark_edge_dirty(&mut self, a: P, b: P) {
+        self.generation += 1;
+        self.dirty.insert(a);
+        self.dirty.insert(b);
     }
 
     /// Number of outstanding requests (edges).
@@ -93,6 +146,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 .or_default()
                 .insert((provider, object));
             self.len += 1;
+            self.mark_edge_dirty(requester, provider);
         }
         inserted
     }
@@ -108,6 +162,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 out.remove(&(provider, object));
             }
             self.len -= 1;
+            self.mark_edge_dirty(requester, provider);
         }
         removed
     }
@@ -132,6 +187,9 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
             }
         }
         self.len -= targets.len();
+        for provider in &targets {
+            self.mark_edge_dirty(requester, *provider);
+        }
         targets.len()
     }
 
@@ -144,6 +202,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 if let Some(out) = self.outgoing.get_mut(&requester) {
                     out.remove(&(peer, object));
                 }
+                self.mark_edge_dirty(requester, peer);
                 removed += 1;
             }
         }
@@ -152,6 +211,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 if let Some(inc) = self.incoming.get_mut(&provider) {
                     inc.remove(&(peer, object));
                 }
+                self.mark_edge_dirty(peer, provider);
                 removed += 1;
             }
         }
@@ -323,6 +383,50 @@ mod tests {
     fn self_request_panics() {
         let mut g: RequestGraph<u32, u32> = RequestGraph::new();
         g.add_request(1, 1, 5);
+    }
+
+    #[test]
+    fn generation_counts_only_effective_mutations() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        assert_eq!(g.generation(), 0);
+        g.add_request(1, 2, 100);
+        assert_eq!(g.generation(), 1);
+        g.add_request(1, 2, 100); // duplicate: no-op
+        assert_eq!(g.generation(), 1);
+        g.remove_request(1, 2, 100);
+        assert_eq!(g.generation(), 2);
+        g.remove_request(1, 2, 100); // already gone: no-op
+        assert_eq!(g.generation(), 2);
+    }
+
+    #[test]
+    fn dirty_set_collects_both_endpoints_and_drains() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100);
+        g.add_request(3, 2, 101);
+        assert!(g.has_dirty());
+        assert_eq!(g.take_dirty(), BTreeSet::from([1, 2, 3]));
+        assert!(!g.has_dirty());
+        assert!(g.take_dirty().is_empty());
+        g.remove_object_requests(1, 100);
+        assert_eq!(g.take_dirty(), BTreeSet::from([1, 2]));
+        g.add_request(4, 2, 102);
+        g.take_dirty();
+        g.remove_peer(2);
+        assert_eq!(g.take_dirty(), BTreeSet::from([2, 3, 4]));
+    }
+
+    #[test]
+    fn equality_ignores_mutation_history() {
+        let mut a: RequestGraph<u32, u32> = RequestGraph::new();
+        a.add_request(1, 2, 100);
+        a.add_request(1, 2, 101);
+        a.remove_request(1, 2, 101);
+        let mut b: RequestGraph<u32, u32> = RequestGraph::new();
+        b.add_request(1, 2, 100);
+        b.take_dirty();
+        assert_eq!(a, b);
+        assert_ne!(a.generation(), b.generation());
     }
 
     mod properties {

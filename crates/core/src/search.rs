@@ -1,6 +1,24 @@
 //! Ring search: discovering feasible n-way exchanges through a provider.
 
+use std::cmp::Reverse;
+use std::collections::HashSet;
+
 use crate::{ExchangeRing, Key, RequestGraph, RingEdge, RingPreference, SearchPolicy};
+
+/// The result of a [traced](RingSearch::find_traced) ring search: the rings
+/// plus the exact set of peers whose state the search read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchTrace<P: Key, O: Key> {
+    /// The feasible rings, in the policy's preference order.
+    pub rings: Vec<ExchangeRing<P, O>>,
+    /// Every peer the search depended on, sorted and deduplicated: the root
+    /// plus every peer that entered the BFS frontier.  The search only reads
+    /// the incoming-request queues of these peers and only probes the
+    /// `provides` oracle for them, so a graph or ownership change confined to
+    /// peers *outside* this set cannot alter the result — `deps` is the
+    /// invalidation footprint a candidate cache must watch.
+    pub deps: Vec<P>,
+}
 
 /// A configurable ring search.
 ///
@@ -92,26 +110,86 @@ impl RingSearch {
     where
         F: Fn(&P, &O) -> bool,
     {
+        self.search(graph, root, wants, provides, false).rings
+    }
+
+    /// Like [`find`](Self::find), but also reports the set of peers the
+    /// search depended on (see [`SearchTrace::deps`]), so callers can cache
+    /// the result and invalidate it precisely.
+    pub fn find_traced<P: Key, O: Key, F>(
+        &self,
+        graph: &RequestGraph<P, O>,
+        root: P,
+        wants: &[O],
+        provides: F,
+    ) -> SearchTrace<P, O>
+    where
+        F: Fn(&P, &O) -> bool,
+    {
+        self.search(graph, root, wants, provides, true)
+    }
+
+    /// Shared search body.  The dependency set is only assembled when
+    /// `trace_deps` is set — plain [`find`](Self::find) callers skip that
+    /// cost entirely (`deps` comes back empty).
+    fn search<P: Key, O: Key, F>(
+        &self,
+        graph: &RequestGraph<P, O>,
+        root: P,
+        wants: &[O],
+        provides: F,
+        trace_deps: bool,
+    ) -> SearchTrace<P, O>
+    where
+        F: Fn(&P, &O) -> bool,
+    {
         let mut found: Vec<(usize, ExchangeRing<P, O>)> = Vec::new();
         if wants.is_empty() {
-            return Vec::new();
+            return SearchTrace {
+                rings: Vec::new(),
+                deps: if trace_deps { vec![root] } else { Vec::new() },
+            };
         }
         let mut budget = self.expansion_budget;
         // Breadth-first enumeration of simple paths root <- r1 <- r2 ...
         // following incoming request edges.  Breadth-first order guarantees
         // that when the expansion budget runs out, the shallow (short-ring)
         // candidates have already been covered.
-        let mut queue: std::collections::VecDeque<Vec<(P, O)>> = graph
+        //
+        // Each frontier node stores its parent's arena index instead of an
+        // owned path, and the arena doubles as the FIFO queue (nodes are
+        // expanded in insertion order), so extending a path allocates nothing
+        // and the full path is only materialised — by walking parent
+        // pointers into a reused buffer — for the one node being expanded.
+        const NO_PARENT: usize = usize::MAX;
+        // (peer, object requested of its parent, parent arena index, depth)
+        let mut arena: Vec<(P, O, usize, usize)> = graph
             .incoming(root)
-            .map(|req| vec![(req.requester, req.object)])
+            .map(|req| (req.requester, req.object, NO_PARENT, 1usize))
             .collect();
+        let mut seen: HashSet<Vec<RingEdge<P, O>>> = HashSet::new();
+        let mut path: Vec<(P, O)> = Vec::with_capacity(self.policy.max_depth());
+        let mut head = 0;
 
-        while let Some(path) = queue.pop_front() {
+        while head < arena.len() {
             if budget == 0 {
                 break;
             }
             budget -= 1;
-            let (last_peer, _) = *path.last().expect("paths are non-empty");
+            let (last_peer, _, _, depth) = arena[head];
+
+            // Materialise the path root <- ... <- last_peer for this node.
+            path.clear();
+            let mut cursor = head;
+            loop {
+                let (peer, object, parent, _) = arena[cursor];
+                path.push((peer, object));
+                if parent == NO_PARENT {
+                    break;
+                }
+                cursor = parent;
+            }
+            path.reverse();
 
             // Can the last peer on the path close a ring by serving something
             // the root wants?
@@ -119,7 +197,10 @@ impl RingSearch {
                 if provides(&last_peer, object) {
                     let ring = Self::ring_from_path(root, &path, *object);
                     if let Ok(ring) = ring {
-                        if !found.iter().any(|(_, r)| *r == ring) {
+                        // Rings through `root` store their edges in cycle
+                        // order starting with root's upload, so the edge list
+                        // is already a canonical fingerprint.
+                        if seen.insert(ring.edges().to_vec()) {
                             found.push((path.len() + 1, ring));
                         }
                     }
@@ -127,24 +208,39 @@ impl RingSearch {
             }
 
             // Extend the path.
-            if path.len() < self.policy.max_depth() {
+            if depth < self.policy.max_depth() {
                 for req in graph.incoming(last_peer).take(self.fanout) {
                     let peer = req.requester;
                     if peer == root || path.iter().any(|(p, _)| *p == peer) {
                         continue;
                     }
-                    let mut extended = path.clone();
-                    extended.push((peer, req.object));
-                    queue.push_back(extended);
+                    arena.push((peer, req.object, head, depth + 1));
                 }
             }
+            head += 1;
         }
 
         match self.policy.preference() {
             RingPreference::ShorterFirst => found.sort_by_key(|(size, _)| *size),
-            RingPreference::LongerFirst => found.sort_by_key(|(size, _)| usize::MAX - *size),
+            RingPreference::LongerFirst => found.sort_by_key(|(size, _)| Reverse(*size)),
         }
-        found.into_iter().map(|(_, ring)| ring).collect()
+        // The dependency set: the root (its incoming queue seeds the search)
+        // plus every peer that entered the frontier, whether or not it was
+        // expanded before the budget ran out.
+        let deps = if trace_deps {
+            let mut deps: Vec<P> = Vec::with_capacity(arena.len() + 1);
+            deps.push(root);
+            deps.extend(arena.iter().map(|(peer, _, _, _)| *peer));
+            deps.sort_unstable();
+            deps.dedup();
+            deps
+        } else {
+            Vec::new()
+        };
+        SearchTrace {
+            rings: found.into_iter().map(|(_, ring)| ring).collect(),
+            deps,
+        }
     }
 
     /// Builds the ring implied by a request-tree path plus the closing edge on
@@ -390,6 +486,46 @@ mod tests {
         let rings = search.find(&graph, 0, &[99], owns(&ownership));
         assert!(!rings.is_empty());
         assert!(rings[0].is_pairwise());
+    }
+
+    #[test]
+    fn traced_search_reports_visited_peers_as_deps() {
+        // Chain 1 -> 0, 2 -> 1, 3 -> 2 plus an isolated edge 9 -> 8.
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (3, 2, 30), (9, 8, 90)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(2, vec![99])].into_iter().collect();
+        let search = RingSearch::new(shorter_first(4));
+        let trace = search.find_traced(&graph, 0, &[99], owns(&ownership));
+        assert_eq!(trace.rings.len(), 1);
+        // Root 0 and frontier peers 1, 2 and 3 are deps (3 closes no ring but
+        // was probed); the disconnected peers 8 and 9 are not.
+        assert_eq!(trace.deps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn traced_search_with_no_wants_depends_only_on_the_root() {
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10)].into_iter().collect();
+        let trace =
+            RingSearch::new(shorter_first(5)).find_traced(&graph, 0, &[], |_: &u32, _: &u32| true);
+        assert!(trace.rings.is_empty());
+        assert_eq!(trace.deps, vec![0]);
+    }
+
+    #[test]
+    fn traced_and_plain_search_agree() {
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (2, 0, 11), (3, 2, 30)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99]), (2, vec![99]), (3, vec![98])]
+            .into_iter()
+            .collect();
+        for policy in [shorter_first(4), longer_first(4)] {
+            let search = RingSearch::new(policy);
+            let plain = search.find(&graph, 0, &[98, 99], owns(&ownership));
+            let traced = search.find_traced(&graph, 0, &[98, 99], owns(&ownership));
+            assert_eq!(plain, traced.rings);
+        }
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub struct SimConfig {
     /// Maximum incoming-request entries followed per node during ring search
     /// (the effective branching factor of the shipped request tree).
     pub ring_search_fanout: usize,
+    /// How many discovered candidate rings a provider probes per scheduling
+    /// step before giving up (the paper's peers pick the first feasible
+    /// exchange rather than exhaustively trying every proposal).
+    pub ring_attempts_per_schedule: usize,
+    /// Whether discovered ring candidates are memoised across scheduling
+    /// rounds (see [`crate::RingCandidateCache`]).  The cache is exact —
+    /// runs produce identical reports with it on or off — so this knob
+    /// exists for benchmarking and debugging, not for accuracy trade-offs.
+    pub ring_candidate_cache: bool,
     /// Virtual length of the run, in seconds.
     pub sim_duration_s: f64,
     /// Warm-up period excluded from all reported statistics, in seconds.
@@ -89,6 +98,8 @@ impl SimConfig {
             block_bytes: 256 * 1024,
             ring_search_budget: 6_000,
             ring_search_fanout: 16,
+            ring_attempts_per_schedule: 8,
+            ring_candidate_cache: true,
             sim_duration_s: 48.0 * 3600.0,
             warmup_s: 8.0 * 3600.0,
             storage_maintenance_interval_s: 600.0,
@@ -116,6 +127,8 @@ impl SimConfig {
             block_bytes: 128 * 1024,
             ring_search_budget: 4_000,
             ring_search_fanout: 8,
+            ring_attempts_per_schedule: 8,
+            ring_candidate_cache: true,
             sim_duration_s: 3_000.0,
             warmup_s: 0.0,
             storage_maintenance_interval_s: 300.0,
@@ -166,6 +179,9 @@ impl SimConfig {
         }
         if self.ring_search_fanout == 0 {
             return Err("ring_search_fanout must be positive".into());
+        }
+        if self.ring_attempts_per_schedule == 0 {
+            return Err("ring_attempts_per_schedule must be at least 1".into());
         }
         if !(self.sim_duration_s.is_finite() && self.sim_duration_s > 0.0) {
             return Err("sim_duration_s must be positive".into());
@@ -262,5 +278,17 @@ mod tests {
         let mut c = SimConfig::quick_test();
         c.lookup_max_providers = 0;
         assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.ring_attempts_per_schedule = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ring_scheduling_knobs_default_to_paper_behaviour() {
+        for c in [SimConfig::paper_defaults(), SimConfig::quick_test()] {
+            assert_eq!(c.ring_attempts_per_schedule, 8);
+            assert!(c.ring_candidate_cache);
+        }
     }
 }

@@ -58,5 +58,5 @@ pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
 pub use report::SimReport;
 pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow};
-pub use simulation::Simulation;
+pub use simulation::{RingCacheStats, RingCandidateCache, Simulation};
 pub use types::{PeerClass, SessionEnd, SessionKind};

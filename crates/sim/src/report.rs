@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use metrics::{Cdf, ClassTally, OnlineStats, SampleSet};
 
+use crate::simulation::RingCacheStats;
 use crate::{PeerClass, SessionKind};
 
 /// Everything a finished simulation run reports.
@@ -26,7 +27,9 @@ pub struct SimReport {
     completed_downloads: u64,
     rings_formed: BTreeMap<usize, u64>,
     token_declines: u64,
+    rings_dissolved_at_activation: u64,
     preemptions: u64,
+    ring_cache: RingCacheStats,
     sim_seconds: f64,
     peers: usize,
 }
@@ -44,7 +47,9 @@ impl SimReport {
             completed_downloads: 0,
             rings_formed: BTreeMap::new(),
             token_declines: 0,
+            rings_dissolved_at_activation: 0,
             preemptions: 0,
+            ring_cache: RingCacheStats::default(),
             sim_seconds: 0.0,
             peers,
         }
@@ -86,6 +91,14 @@ impl SimReport {
         self.token_declines += 1;
     }
 
+    /// Records a ring that passed token validation but fell apart while its
+    /// transfers were being activated (a member became infeasible in
+    /// between).  Kept separate from token declines so the Fig. 5/6 failure
+    /// statistics do not conflate the two modes.
+    pub fn record_ring_dissolved_at_activation(&mut self) {
+        self.rings_dissolved_at_activation += 1;
+    }
+
     /// Records the preemption of a non-exchange upload.
     pub fn record_preemption(&mut self) {
         self.preemptions += 1;
@@ -100,6 +113,11 @@ impl SimReport {
     /// Stamps the virtual duration the run actually covered.
     pub fn set_sim_seconds(&mut self, seconds: f64) {
         self.sim_seconds = seconds;
+    }
+
+    /// Stamps the ring-candidate cache counters of the finished run.
+    pub fn set_ring_cache_stats(&mut self, stats: RingCacheStats) {
+        self.ring_cache = stats;
     }
 
     // ---- queries (used by figures, examples and tests) ---------------------
@@ -226,6 +244,20 @@ impl SimReport {
         self.token_declines
     }
 
+    /// Number of rings that dissolved during activation, after passing token
+    /// validation.
+    #[must_use]
+    pub fn rings_dissolved_at_activation(&self) -> u64 {
+        self.rings_dissolved_at_activation
+    }
+
+    /// Hit/miss/invalidation counters of the ring-candidate cache over the
+    /// run (all zero when the cache was disabled).
+    #[must_use]
+    pub fn ring_cache_stats(&self) -> RingCacheStats {
+        self.ring_cache
+    }
+
     /// Number of non-exchange uploads preempted by exchanges.
     #[must_use]
     pub fn preemptions(&self) -> u64 {
@@ -303,11 +335,27 @@ mod tests {
         r.record_ring(2);
         r.record_ring(4);
         r.record_token_decline();
+        r.record_ring_dissolved_at_activation();
+        r.record_ring_dissolved_at_activation();
         r.record_preemption();
         assert_eq!(r.total_rings(), 3);
         assert_eq!(r.rings_formed()[&2], 2);
         assert_eq!(r.token_declines(), 1);
+        assert_eq!(r.rings_dissolved_at_activation(), 2);
         assert_eq!(r.preemptions(), 1);
+    }
+
+    #[test]
+    fn ring_cache_stats_are_stamped() {
+        let mut r = SimReport::new(2);
+        assert_eq!(r.ring_cache_stats(), RingCacheStats::default());
+        let stats = RingCacheStats {
+            hits: 5,
+            misses: 2,
+            invalidations: 1,
+        };
+        r.set_ring_cache_stats(stats);
+        assert_eq!(r.ring_cache_stats(), stats);
     }
 
     #[test]

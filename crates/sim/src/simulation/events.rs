@@ -114,7 +114,11 @@ impl Simulation {
                 .evict_over_capacity(&mut self.rng_storage, |o| pinned.contains(&o))
         };
         // Requests directed at this peer for evicted objects can no longer be
-        // served here; withdraw them so the request graph stays truthful.
+        // served here; withdraw them so the request graph stays truthful, and
+        // drop cached ring candidates that relied on the peer's holdings.
+        if !evicted.is_empty() {
+            self.ring_cache.invalidate_peer(peer);
+        }
         for object in evicted {
             let stale: Vec<PeerId> = self
                 .graph

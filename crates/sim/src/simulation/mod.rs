@@ -11,8 +11,11 @@
 //!   bookkeeping.
 
 mod events;
+mod ring_cache;
 mod scheduling;
 mod transfers;
+
+pub use ring_cache::{RingCacheStats, RingCandidateCache};
 
 use std::collections::HashMap;
 
@@ -67,6 +70,12 @@ pub struct Simulation {
     rng_lookup: DetRng,
     rng_storage: DetRng,
     scheduler: Box<dyn UploadScheduler<PeerId>>,
+    /// Memoised ring-search results (see [`RingCandidateCache`]); only
+    /// consulted when [`SimConfig::ring_candidate_cache`] is set.
+    ring_cache: RingCandidateCache,
+    /// Bumped whenever a transfer starts or ends; lets the scheduling loop
+    /// detect that an assembled non-exchange queue is still current.
+    transfer_epoch: u64,
 }
 
 impl Simulation {
@@ -153,6 +162,8 @@ impl Simulation {
             next_ring_id: 0,
             engine,
             report,
+            ring_cache: RingCandidateCache::new(),
+            transfer_epoch: 0,
         }
     }
 
@@ -172,6 +183,13 @@ impl Simulation {
     #[must_use]
     pub fn scheduler_label(&self) -> &'static str {
         self.scheduler.label()
+    }
+
+    /// Hit/miss/invalidation counters of the ring-candidate cache so far.
+    /// All zeros when [`SimConfig::ring_candidate_cache`] is disabled.
+    #[must_use]
+    pub fn ring_cache_stats(&self) -> RingCacheStats {
+        self.ring_cache.stats()
     }
 
     /// Runs the simulation to its horizon and returns the collected report.
@@ -199,6 +217,7 @@ impl Simulation {
                 .record_peer_volume(peer.class(), peer.downloaded_bytes);
         }
         self.report.set_sim_seconds(self.engine.now().as_secs_f64());
+        self.report.set_ring_cache_stats(self.ring_cache.stats());
         self.report
     }
 

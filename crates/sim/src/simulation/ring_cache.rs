@@ -1,0 +1,312 @@
+//! Persistent per-provider cache of discovered exchange-ring candidates.
+//!
+//! Every `TrySchedule` event used to re-run a full breadth-first ring search
+//! over the request graph, even though consecutive scheduling rounds at the
+//! same provider usually see an unchanged neighbourhood.  This cache keeps
+//! the most recent [`SearchTrace`] per provider and reuses its rings until a
+//! relevant *delta* lands:
+//!
+//! * **graph deltas** (request added/removed, peer departed) arrive through
+//!   [`RequestGraph`]'s dirty set via
+//!   [`apply_graph_deltas`](RingCandidateCache::apply_graph_deltas);
+//! * **oracle deltas** (a peer gained or evicted an object, or toggled
+//!   `sharing`) are reported by the simulation through
+//!   [`invalidate_peer`](RingCandidateCache::invalidate_peer);
+//! * **want deltas** at the root are caught by keying each entry on the exact
+//!   `wants` list it was computed for.
+//!
+//! An entry is dropped as soon as *any* peer in its search's dependency set
+//! ([`SearchTrace::deps`]) is invalidated.  Because the dependency set covers
+//! every peer whose incoming-request queue or holdings the search read, a
+//! cached hit is guaranteed to equal what a fresh [`exchange::RingSearch`]
+//! would return — the cache is a pure memoisation, never an approximation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use exchange::{ExchangeRing, RequestGraph, SearchTrace};
+use workload::{ObjectId, PeerId};
+
+/// Hit/miss/invalidation counters of one cache over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingCacheStats {
+    /// Lookups answered from a live entry.
+    pub hits: u64,
+    /// Lookups that required a fresh search (no entry, or stale wants).
+    pub misses: u64,
+    /// Entries dropped because a peer in their dependency set changed.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// The root's wanted objects at the time of the search.
+    wants: Vec<ObjectId>,
+    /// The search result, in preference order.
+    rings: Vec<ExchangeRing<PeerId, ObjectId>>,
+    /// The search's dependency set (sorted); mirrored in `dependents`.
+    deps: Vec<PeerId>,
+}
+
+/// Memoises [`exchange::RingSearch::find_traced`] results per provider.
+///
+/// See the [module docs](self) for the invalidation contract.
+#[derive(Debug, Default)]
+pub struct RingCandidateCache {
+    entries: HashMap<PeerId, Entry>,
+    /// Reverse index: peer -> roots whose cached search depends on it.
+    dependents: HashMap<PeerId, BTreeSet<PeerId>>,
+    stats: RingCacheStats,
+}
+
+impl RingCandidateCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        RingCandidateCache::default()
+    }
+
+    /// Returns the cached candidate rings for `root`, if a live entry exists
+    /// and was computed for exactly this `wants` list.
+    pub fn lookup(
+        &mut self,
+        root: PeerId,
+        wants: &[ObjectId],
+    ) -> Option<&[ExchangeRing<PeerId, ObjectId>]> {
+        let live = self
+            .entries
+            .get(&root)
+            .is_some_and(|entry| entry.wants == wants);
+        if live {
+            self.stats.hits += 1;
+            self.entries.get(&root).map(|entry| entry.rings.as_slice())
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Stores a fresh search result for `root`, replacing any prior entry.
+    pub fn store(
+        &mut self,
+        root: PeerId,
+        wants: Vec<ObjectId>,
+        trace: SearchTrace<PeerId, ObjectId>,
+    ) {
+        self.remove_entry(root);
+        for dep in &trace.deps {
+            self.dependents.entry(*dep).or_default().insert(root);
+        }
+        self.entries.insert(
+            root,
+            Entry {
+                wants,
+                rings: trace.rings,
+                deps: trace.deps,
+            },
+        );
+    }
+
+    /// Drops every entry whose search depended on `peer`.
+    ///
+    /// Call this when `peer`'s provision state changed: it gained or evicted
+    /// a stored object, or toggled its `sharing` flag.  Graph-edge changes
+    /// are handled separately by
+    /// [`apply_graph_deltas`](Self::apply_graph_deltas).
+    pub fn invalidate_peer(&mut self, peer: PeerId) {
+        let Some(roots) = self.dependents.remove(&peer) else {
+            return;
+        };
+        for root in roots {
+            if self.remove_entry(root) {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drains the graph's dirty set and invalidates every entry that depended
+    /// on a changed peer.  Cheap when nothing changed.
+    pub fn apply_graph_deltas(&mut self, graph: &mut RequestGraph<PeerId, ObjectId>) {
+        if !graph.has_dirty() {
+            return;
+        }
+        for peer in graph.take_dirty() {
+            self.invalidate_peer(peer);
+        }
+    }
+
+    /// Removes `root`'s entry and unregisters its dependency links.
+    /// Returns whether an entry existed.
+    fn remove_entry(&mut self, root: PeerId) -> bool {
+        let Some(entry) = self.entries.remove(&root) else {
+            return false;
+        };
+        for dep in &entry.deps {
+            if let Some(roots) = self.dependents.get_mut(dep) {
+                roots.remove(&root);
+                if roots.is_empty() {
+                    self.dependents.remove(dep);
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The run's hit/miss/invalidation counters.
+    #[must_use]
+    pub fn stats(&self) -> RingCacheStats {
+        self.stats
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dependents.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exchange::{RingPreference, RingSearch, SearchPolicy};
+
+    fn peer(id: u32) -> PeerId {
+        PeerId::new(id)
+    }
+
+    fn object(id: u32) -> ObjectId {
+        ObjectId::new(id)
+    }
+
+    fn search() -> RingSearch {
+        RingSearch::new(SearchPolicy::new(5, RingPreference::ShorterFirst))
+    }
+
+    /// A tiny fixture: 1 asked 0 for o10, 2 asked 1 for o20; peer 2 owns o30.
+    fn fixture() -> RequestGraph<PeerId, ObjectId> {
+        let mut graph = RequestGraph::new();
+        graph.add_request(peer(1), peer(0), object(10));
+        graph.add_request(peer(2), peer(1), object(20));
+        graph.take_dirty();
+        graph
+    }
+
+    fn owns_o30(p: &PeerId, o: &ObjectId) -> bool {
+        *p == peer(2) && *o == object(30)
+    }
+
+    #[test]
+    fn lookup_misses_then_hits_after_store() {
+        let graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        assert!(cache.lookup(peer(0), &wants).is_none());
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        assert_eq!(trace.rings.len(), 1);
+        cache.store(peer(0), wants.clone(), trace.clone());
+        assert_eq!(cache.lookup(peer(0), &wants), Some(trace.rings.as_slice()));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn changed_wants_miss_without_invalidation() {
+        let graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        cache.store(peer(0), wants, trace);
+        assert!(cache.lookup(peer(0), &[object(30), object(31)]).is_none());
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn graph_delta_on_a_dep_invalidates() {
+        let mut graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        cache.store(peer(0), wants.clone(), trace);
+        // A new request at frontier peer 2 dirties it -> entry dropped.
+        graph.add_request(peer(3), peer(2), object(40));
+        cache.apply_graph_deltas(&mut graph);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.lookup(peer(0), &wants).is_none());
+    }
+
+    #[test]
+    fn graph_delta_outside_the_deps_keeps_the_entry() {
+        let mut graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        let rings = trace.rings.clone();
+        cache.store(peer(0), wants.clone(), trace);
+        // An edge between peers the search never visited is irrelevant.
+        graph.add_request(peer(8), peer(9), object(90));
+        cache.apply_graph_deltas(&mut graph);
+        assert_eq!(cache.lookup(peer(0), &wants), Some(rings.as_slice()));
+    }
+
+    #[test]
+    fn invalidate_peer_drops_every_dependent_root() {
+        let mut graph = fixture();
+        // Peer 1 also has its own entry: 2 asked 1, and 2 owns what 1 wants.
+        let mut cache = RingCandidateCache::new();
+        let wants0 = vec![object(30)];
+        let wants1 = vec![object(30)];
+        cache.store(
+            peer(0),
+            wants0.clone(),
+            search().find_traced(&graph, peer(0), &wants0, owns_o30),
+        );
+        cache.store(
+            peer(1),
+            wants1.clone(),
+            search().find_traced(&graph, peer(1), &wants1, owns_o30),
+        );
+        assert_eq!(cache.len(), 2);
+        // Peer 2 is in both dependency sets (frontier of both searches).
+        cache.invalidate_peer(peer(2));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+        // Stale reverse-index links must not resurrect anything.
+        graph.add_request(peer(4), peer(1), object(50));
+        cache.apply_graph_deltas(&mut graph);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn store_replaces_and_relinks_dependencies() {
+        let graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        cache.store(
+            peer(0),
+            wants.clone(),
+            search().find_traced(&graph, peer(0), &wants, owns_o30),
+        );
+        // Re-store with a no-ring oracle: the entry must be replaced, and the
+        // old dependency links must be gone (no double counting later).
+        cache.store(
+            peer(0),
+            wants.clone(),
+            search().find_traced(&graph, peer(0), &wants, |_, _| false),
+        );
+        assert_eq!(cache.lookup(peer(0), &wants), Some(&[][..]));
+        cache.invalidate_peer(peer(2));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+}

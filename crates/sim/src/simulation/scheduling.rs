@@ -9,11 +9,21 @@ use crate::{SessionEnd, SessionKind};
 
 use super::Simulation;
 
+/// The non-exchange request queue assembled for one provider, reused across
+/// iterations of the scheduling loop as long as no transfer started or ended
+/// in between (tracked via `Simulation::transfer_epoch`).
+pub(super) struct ServeQueue {
+    queue: Vec<QueuedRequest<PeerId>>,
+    objects: Vec<ObjectId>,
+    epoch: u64,
+}
+
 impl Simulation {
     pub(super) fn handle_try_schedule(&mut self, provider: PeerId) {
         if !self.peer(provider).sharing {
             return;
         }
+        let mut serve_queue: Option<ServeQueue> = None;
         loop {
             let free_slot = self.peer(provider).upload_slots.has_free();
             let can_preempt = self.config.preemption && self.has_preemptible_upload(provider);
@@ -23,7 +33,7 @@ impl Simulation {
                 progressed = self.try_form_exchange(provider);
             }
             if !progressed && self.peer(provider).upload_slots.has_free() {
-                progressed = self.serve_non_exchange(provider);
+                progressed = self.serve_non_exchange(provider, &mut serve_queue);
             }
             if !progressed {
                 break;
@@ -43,6 +53,11 @@ impl Simulation {
 
     /// Attempts to discover and activate one exchange ring rooted at
     /// `provider`.  Returns `true` if a ring was activated.
+    ///
+    /// Candidate discovery goes through the [`super::RingCandidateCache`]
+    /// when enabled: the last search's rings are reused verbatim until a
+    /// graph or holdings delta touches a peer that search depended on, so
+    /// repeated scheduling rounds at a quiet provider skip the BFS entirely.
     fn try_form_exchange(&mut self, provider: PeerId) -> bool {
         let Some(policy) = self.config.discipline.search_policy() else {
             return false;
@@ -51,26 +66,52 @@ impl Simulation {
         if wants.is_empty() {
             return false;
         }
-        // A peer in the request tree can close a ring if it shares and stores
-        // an object the provider wants.  (Following the paper, the provider
-        // examines its pending requests against what the peers in its request
-        // tree own; it is not limited to the providers its own lookups
-        // sampled.)
-        let rings = RingSearch::new(policy)
-            .with_expansion_budget(self.config.ring_search_budget)
-            .with_fanout(self.config.ring_search_fanout)
-            .find(&self.graph, provider, &wants, |peer, object| {
-                let candidate = self.peer(*peer);
-                candidate.sharing && candidate.storage.contains(*object)
-            });
         // Try only a handful of candidates: the paper's peers pick the first
         // feasible exchange rather than exhaustively probing every proposal.
-        for ring in rings.iter().take(8) {
+        let attempts = self.config.ring_attempts_per_schedule;
+        let candidates: Vec<ExchangeRing<PeerId, ObjectId>> = if self.config.ring_candidate_cache {
+            self.ring_cache.apply_graph_deltas(&mut self.graph);
+            if let Some(rings) = self.ring_cache.lookup(provider, &wants) {
+                rings.iter().take(attempts).cloned().collect()
+            } else {
+                let trace = self.search_rings(policy, provider, &wants);
+                let candidates = trace.rings.iter().take(attempts).cloned().collect();
+                self.ring_cache.store(provider, wants, trace);
+                candidates
+            }
+        } else {
+            let mut rings = self.search_rings(policy, provider, &wants).rings;
+            rings.truncate(attempts);
+            rings
+        };
+        for ring in &candidates {
             if self.activate_ring(provider, ring) {
                 return true;
             }
         }
         false
+    }
+
+    /// Runs one fresh ring search rooted at `provider`.
+    ///
+    /// A peer in the request tree can close a ring if it shares and stores
+    /// an object the provider wants.  (Following the paper, the provider
+    /// examines its pending requests against what the peers in its request
+    /// tree own; it is not limited to the providers its own lookups
+    /// sampled.)
+    fn search_rings(
+        &self,
+        policy: exchange::SearchPolicy,
+        provider: PeerId,
+        wants: &[ObjectId],
+    ) -> exchange::SearchTrace<PeerId, ObjectId> {
+        RingSearch::new(policy)
+            .with_expansion_budget(self.config.ring_search_budget)
+            .with_fanout(self.config.ring_search_fanout)
+            .find_traced(&self.graph, provider, wants, |peer, object| {
+                let candidate = self.peer(*peer);
+                candidate.sharing && candidate.storage.contains(*object)
+            })
     }
 
     /// Whether `peer` could take on the upload described by `edge` as part of
@@ -151,11 +192,13 @@ impl Simulation {
         if created.len() != ring.len() {
             // A member became infeasible between confirmation and activation
             // (e.g. its slot was consumed while activating an earlier edge).
+            // Distinct from a token decline: the ring passed validation and
+            // fell apart while being wired up.
             for tid in created {
                 self.end_transfer(tid, SessionEnd::RingDissolved);
             }
             if self.measuring() {
-                self.report.record_token_decline();
+                self.report.record_ring_dissolved_at_activation();
             }
             return false;
         }
@@ -217,7 +260,69 @@ impl Simulation {
     /// The queue is assembled from the provider's incoming requests and
     /// handed to the configured [`credit::UploadScheduler`], which picks the
     /// winner; the simulation itself imposes no ordering policy.
-    fn serve_non_exchange(&mut self, provider: PeerId) -> bool {
+    ///
+    /// The assembled queue is kept in `cached` between iterations of the
+    /// scheduling loop.  It is reused verbatim while no transfer started or
+    /// ended since it was built; after a successful serve it is patched in
+    /// place (the only entries a rebuild would drop are the served
+    /// `(requester, object)` pair and, if the requester's download slots
+    /// filled up, the requester's other entries).
+    fn serve_non_exchange(&mut self, provider: PeerId, cached: &mut Option<ServeQueue>) -> bool {
+        let current = matches!(cached, Some(sq) if sq.epoch == self.transfer_epoch);
+        if !current {
+            *cached = Some(self.build_serve_queue(provider));
+        }
+        let sq = cached.as_mut().expect("serve queue was just built");
+        if sq.queue.is_empty() {
+            return false;
+        }
+        let Some(index) = self.scheduler.pick(provider, &sq.queue) else {
+            return false;
+        };
+        if index >= sq.queue.len() {
+            // A custom scheduler returned a nonsense index; treat the slot as
+            // idle rather than panicking the whole run.
+            debug_assert!(
+                false,
+                "scheduler {} picked index {index} from a queue of {}",
+                self.scheduler.label(),
+                sq.queue.len()
+            );
+            return false;
+        }
+        let requester = sq.queue[index].requester;
+        let object = sq.objects[index];
+        let started = self
+            .start_transfer(provider, requester, object, SessionKind::NonExchange, None)
+            .is_some();
+        if started {
+            let requester_full = !self.peer(requester).download_slots.has_free();
+            let sq = cached.as_mut().expect("serve queue still present");
+            let mut kept_queue = Vec::with_capacity(sq.queue.len());
+            let mut kept_objects = Vec::with_capacity(sq.objects.len());
+            let entries = std::mem::take(&mut sq.queue)
+                .into_iter()
+                .zip(std::mem::take(&mut sq.objects));
+            for (entry, entry_object) in entries {
+                // Exactly what a rebuild would now drop: the pair just served
+                // (`already_serving`) and, if the requester ran out of
+                // download slots, its remaining entries.
+                let drop =
+                    entry.requester == requester && (requester_full || entry_object == object);
+                if !drop {
+                    kept_queue.push(entry);
+                    kept_objects.push(entry_object);
+                }
+            }
+            sq.queue = kept_queue;
+            sq.objects = kept_objects;
+            sq.epoch = self.transfer_epoch;
+        }
+        started
+    }
+
+    /// Assembles the eligible non-exchange queue at `provider` from scratch.
+    fn build_serve_queue(&self, provider: PeerId) -> ServeQueue {
         let now = self.now();
         // The reciprocation flag costs a storage scan per queued request;
         // only compute it for schedulers that actually read it.
@@ -267,19 +372,10 @@ impl Simulation {
             );
             objects.push(req.object);
         }
-        if queue.is_empty() {
-            return false;
+        ServeQueue {
+            queue,
+            objects,
+            epoch: self.transfer_epoch,
         }
-        let Some(index) = self.scheduler.pick(provider, &queue) else {
-            return false;
-        };
-        self.start_transfer(
-            provider,
-            queue[index].requester,
-            objects[index],
-            SessionKind::NonExchange,
-            None,
-        )
-        .is_some()
     }
 }

@@ -59,6 +59,7 @@ impl Simulation {
         let session = TransferSession::new(rate, self.config.block_bytes, now);
         let tid = self.next_transfer_id;
         self.next_transfer_id += 1;
+        self.transfer_epoch += 1;
         self.transfers.insert(
             tid,
             ActiveTransfer {
@@ -169,8 +170,10 @@ impl Simulation {
         // Withdraw every outstanding request for this object.
         self.graph.remove_object_requests(downloader, object);
         // The object enters the downloader's store (it may be evicted later by
-        // the periodic maintenance pass).
+        // the periodic maintenance pass).  The downloader can now close rings
+        // it could not before, so any cached search that probed it is stale.
         self.peer_mut(downloader).storage.insert(object);
+        self.ring_cache.invalidate_peer(downloader);
 
         // Terminate every session that was delivering this object.
         let sessions: Vec<TransferId> = self
@@ -193,6 +196,7 @@ impl Simulation {
         let Some(transfer) = self.transfers.remove(&tid) else {
             return;
         };
+        self.transfer_epoch += 1;
         self.peer_mut(transfer.uploader).upload_slots.release();
         self.peer_mut(transfer.downloader).download_slots.release();
         if let Some(want) = self
