@@ -87,7 +87,10 @@ fn main() {
         (
             "fraction of freeloaders",
             "50%".into(),
-            format!("{:.0}%", config.freerider_fraction * 100.0),
+            format!(
+                "{:.0}%",
+                config.behaviors.share(sim::BehaviorKind::FreeRider) * 100.0
+            ),
         ),
         (
             "exchange discipline",

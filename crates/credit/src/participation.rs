@@ -44,8 +44,18 @@ impl<P: Key> ParticipationLevel<P> {
     }
 
     /// Records the level `peer` announces for itself (honest or not).
+    ///
+    /// Announcements are sanitised so downstream scoring never sees a
+    /// non-finite value: NaN collapses to 0, negative levels clamp to 0,
+    /// and infinities clamp to `f64::MAX` (a cheater announcing `inf` would
+    /// otherwise poison score comparisons).
     pub fn report(&mut self, peer: P, level: f64) {
-        self.reported.insert(peer, level.max(0.0));
+        let sanitised = if level.is_nan() {
+            0.0
+        } else {
+            level.clamp(0.0, f64::MAX)
+        };
+        self.reported.insert(peer, sanitised);
     }
 
     /// The level `peer` currently announces (0 if it never reported).
@@ -59,6 +69,14 @@ impl<P: Key> ParticipationLevel<P> {
     #[must_use]
     pub fn honest_level(&self, peer: P) -> f64 {
         self.honest_volume.get(&peer).copied().unwrap_or(0) as f64 / 1_048_576.0
+    }
+
+    /// How far `peer`'s announced level diverges from what its recorded
+    /// uploads honestly justify.  Positive means the peer inflates its
+    /// report (the Section III-B cheat); roughly zero for honest clients.
+    #[must_use]
+    pub fn divergence(&self, peer: P) -> f64 {
+        self.reported_level(peer) - self.honest_level(peer)
     }
 }
 
@@ -106,6 +124,37 @@ mod tests {
         let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
         pl.report(1, -5.0);
         assert_eq!(pl.reported_level(1), 0.0);
+    }
+
+    #[test]
+    fn nan_and_infinite_reports_are_sanitised() {
+        let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        pl.report(1, f64::NAN);
+        assert_eq!(pl.reported_level(1), 0.0);
+        pl.report(2, f64::INFINITY);
+        assert_eq!(pl.reported_level(2), f64::MAX);
+        pl.report(3, f64::NEG_INFINITY);
+        assert_eq!(pl.reported_level(3), 0.0);
+        // Scores stay comparable (pick() asserts on NaN scores).
+        let queue = vec![QueuedRequest::new(1u32, 1.0), QueuedRequest::new(2, 1.0)];
+        assert_eq!(pl.pick(0, &queue), Some(1));
+    }
+
+    #[test]
+    fn divergence_exposes_inflated_reports() {
+        let mut pl: ParticipationLevel<u32> = ParticipationLevel::new();
+        // Peer 1 uploaded 100 MB and reports exactly that.
+        pl.record_transfer(1, 0, 100 * 1_048_576);
+        let honest = pl.honest_level(1);
+        pl.report(1, honest);
+        assert_eq!(pl.divergence(1), 0.0);
+        // Peer 2 uploaded nothing and reports 500.
+        pl.report(2, 500.0);
+        assert_eq!(pl.divergence(2), 500.0);
+        // Peer 3 under-reports (modest, or stale client).
+        pl.record_transfer(3, 0, 50 * 1_048_576);
+        pl.report(3, 10.0);
+        assert_eq!(pl.divergence(3), -40.0);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub trait UploadScheduler<P: Key>: fmt::Debug + Send {
         let _ = (uploader, downloader, bytes);
     }
 
+    /// Notifies the scheduler that `peer` announced `level` as its own
+    /// participation level.  Only self-report-based mechanisms
+    /// ([`ParticipationLevel`]) listen; the announcement is taken at face
+    /// value, which is exactly the exploit of Section III-B — cheating peers
+    /// inflate it.
+    fn on_participation_report(&mut self, peer: P, level: f64) {
+        let _ = (peer, level);
+    }
+
     /// Picks the request `provider` should serve next from `queue`, or
     /// `None` to leave the slot idle (e.g. when the queue is empty).
     fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize>;
@@ -99,6 +108,10 @@ impl<P: Key + Send> UploadScheduler<P> for ExchangeOrder {
 }
 
 impl<P: Key + Send> UploadScheduler<P> for ParticipationLevel<P> {
+    fn on_participation_report(&mut self, peer: P, level: f64) {
+        self.report(peer, level);
+    }
+
     fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
         self.record_transfer(uploader, downloader, bytes);
         // Peers continuously re-announce their participation level.  The
@@ -239,6 +252,26 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn participation_reports_flow_through_the_trait_object() {
+        let mut scheduler = SchedulerKind::ParticipationLevel.build::<u32>();
+        // Peer 1 genuinely uploads; peer 2 just announces a huge level.
+        scheduler.on_transfer_complete(1, 9, 100 * 1_048_576);
+        scheduler.on_participation_report(2, 1.0e9);
+        let honest = QueuedRequest::new(1u32, 10_000.0);
+        let cheater = QueuedRequest::new(2u32, 1.0);
+        assert_eq!(
+            scheduler.pick(0, &[honest, cheater]),
+            Some(1),
+            "an inflated self-report outranks genuine contribution"
+        );
+        // Every other scheduler ignores the announcement.
+        let mut fifo = SchedulerKind::Fifo.build::<u32>();
+        fifo.on_participation_report(2, 1.0e9);
+        let queue = [QueuedRequest::new(1u32, 50.0), QueuedRequest::new(2, 10.0)];
+        assert_eq!(fifo.pick(0, &queue), Some(0));
     }
 
     #[test]

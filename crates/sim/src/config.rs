@@ -6,6 +6,8 @@ use netsim::LinkConfig;
 use serde::{Deserialize, Serialize};
 use workload::WorkloadConfig;
 
+use crate::{BehaviorMix, Protection};
+
 /// Full configuration of one simulation run.
 ///
 /// [`SimConfig::paper_defaults`] reproduces Table II of the paper;
@@ -26,8 +28,17 @@ use workload::WorkloadConfig;
 pub struct SimConfig {
     /// Number of peers in the system.
     pub num_peers: usize,
-    /// Fraction of peers that never upload ("free-riders" / non-sharing).
-    pub freerider_fraction: f64,
+    /// The weighted population of peer behaviors (honest sharers,
+    /// free-riders, and the Section III-B adversaries).  Replaces the old
+    /// binary `freerider_fraction` field; see
+    /// [`SimConfig::with_freerider_fraction`] for the migration shim.
+    pub behaviors: BehaviorMix,
+    /// The Section III-B countermeasure active on the transfer path.
+    pub protection: Protection,
+    /// Round-trip time between peers, in seconds.  Only read by
+    /// [`Protection::Windowed`], whose synchronous validation caps the
+    /// exchange rate at `window × block / rtt`.
+    pub rtt_s: f64,
     /// Content and storage parameters.
     pub workload: WorkloadConfig,
     /// Access-link capacities and slot size.
@@ -86,7 +97,9 @@ impl SimConfig {
     pub fn paper_defaults() -> Self {
         SimConfig {
             num_peers: 200,
-            freerider_fraction: 0.5,
+            behaviors: BehaviorMix::with_freeriders(0.5),
+            protection: Protection::None,
+            rtt_s: 0.2,
             workload: WorkloadConfig::paper_defaults(),
             link: LinkConfig::paper_defaults(),
             discipline: ExchangePolicy::two_five_way(),
@@ -115,7 +128,9 @@ impl SimConfig {
         workload.object_size_bytes = 2 * 1024 * 1024;
         SimConfig {
             num_peers: 30,
-            freerider_fraction: 0.5,
+            behaviors: BehaviorMix::with_freeriders(0.5),
+            protection: Protection::None,
+            rtt_s: 0.2,
             workload,
             link: LinkConfig::paper_defaults(),
             discipline: ExchangePolicy::two_five_way(),
@@ -145,6 +160,19 @@ impl SimConfig {
         self
     }
 
+    /// Migration shim for the removed `freerider_fraction` field: sets the
+    /// population to `fraction` free-riders, the rest honest.
+    #[deprecated(
+        since = "0.3.0",
+        note = "the binary free-rider fraction became `SimConfig::behaviors`; \
+                set it to `BehaviorMix::with_freeriders(fraction)` (or any richer mix) directly"
+    )]
+    #[must_use]
+    pub fn with_freerider_fraction(mut self, fraction: f64) -> Self {
+        self.behaviors = BehaviorMix::with_freeriders(fraction);
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -154,11 +182,10 @@ impl SimConfig {
         if self.num_peers < 2 {
             return Err("a file-sharing system needs at least two peers".into());
         }
-        if !(0.0..=1.0).contains(&self.freerider_fraction) {
-            return Err(format!(
-                "freerider_fraction must be in [0, 1], got {}",
-                self.freerider_fraction
-            ));
+        self.behaviors.validate()?;
+        self.protection.validate()?;
+        if !(self.rtt_s.is_finite() && self.rtt_s > 0.0) {
+            return Err(format!("rtt_s must be positive, got {}", self.rtt_s));
         }
         self.workload.validate()?;
         self.link.validate()?;
@@ -219,12 +246,14 @@ impl Default for SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BehaviorKind;
 
     #[test]
     fn paper_defaults_match_table_ii() {
         let c = SimConfig::paper_defaults();
         assert_eq!(c.num_peers, 200);
-        assert_eq!(c.freerider_fraction, 0.5);
+        assert_eq!(c.behaviors.share(BehaviorKind::FreeRider), 0.5);
+        assert_eq!(c.protection, Protection::None);
         assert_eq!(c.max_pending_objects, 6);
         assert_eq!(c.irq_capacity, 1000);
         assert_eq!(c.link.upload_kbps, 80.0);
@@ -264,7 +293,15 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::quick_test();
-        c.freerider_fraction = 1.5;
+        c.behaviors = BehaviorMix::weighted([(BehaviorKind::Honest, -1.0)]);
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.protection = Protection::Windowed { max_window: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.rtt_s = 0.0;
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::quick_test();
@@ -290,5 +327,13 @@ mod tests {
             assert_eq!(c.ring_attempts_per_schedule, 8);
             assert!(c.ring_candidate_cache);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn freerider_fraction_shim_rewrites_the_mix() {
+        let c = SimConfig::quick_test().with_freerider_fraction(0.25);
+        assert_eq!(c.behaviors, BehaviorMix::with_freeriders(0.25));
+        assert!(c.validate().is_ok());
     }
 }

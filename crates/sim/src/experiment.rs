@@ -33,7 +33,9 @@
 
 use exchange::ExchangePolicy;
 
-use crate::{Axis, Scenario, SessionKind, SimConfig, SimReport, Simulation};
+use crate::{
+    Axis, BehaviorMix, Protection, Scenario, SessionKind, SimConfig, SimReport, Simulation,
+};
 
 /// Runs a single configuration and returns its report.
 #[must_use]
@@ -126,6 +128,20 @@ pub fn freerider_scenario(
 #[must_use]
 pub fn scheduler_scenario(base: &SimConfig) -> Scenario {
     Scenario::from(base.clone()).schedulers(credit::SchedulerKind::all())
+}
+
+/// Section III-B: every behavior mix under every countermeasure — how much
+/// does each cheater gain under a given scheduler × protection combination?
+/// Read the answers off [`crate::SimReport::behavior_stats`].
+#[must_use]
+pub fn cheating_scenario(
+    base: &SimConfig,
+    mixes: &[BehaviorMix],
+    protections: &[Protection],
+) -> Scenario {
+    Scenario::from(base.clone())
+        .behaviors(mixes.iter().cloned())
+        .protections(protections.iter().copied())
 }
 
 /// Figures 7 and 8: a single run whose per-session distributions (bytes and
@@ -242,8 +258,33 @@ mod tests {
             freerider_scenario(&tiny_base(), &[ExchangePolicy::two_five_way()], &[0.2, 0.8]);
         let points = scenario.points();
         assert_eq!(points.len(), 2);
-        assert_eq!(points[0].config.freerider_fraction, 0.2);
-        assert_eq!(points[1].config.freerider_fraction, 0.8);
+        assert_eq!(
+            points[0].config.behaviors,
+            BehaviorMix::with_freeriders(0.2)
+        );
+        assert_eq!(
+            points[1].config.behaviors,
+            BehaviorMix::with_freeriders(0.8)
+        );
+    }
+
+    #[test]
+    fn cheating_scenario_crosses_mixes_and_protections() {
+        use crate::BehaviorKind;
+        let mixes = [
+            BehaviorMix::with_freeriders(0.5),
+            BehaviorMix::weighted([
+                (BehaviorKind::Honest, 0.5),
+                (BehaviorKind::JunkSender, 0.25),
+                (BehaviorKind::Middleman, 0.25),
+            ]),
+        ];
+        let scenario = cheating_scenario(&tiny_base(), &mixes, &Protection::all_basic());
+        let points = scenario.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].config.protection, Protection::None);
+        assert_eq!(points[2].config.protection, Protection::Mediated);
+        assert_eq!(points[5].config.behaviors, mixes[1]);
     }
 
     #[test]

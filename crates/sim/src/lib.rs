@@ -13,6 +13,10 @@
 //!   participation level, exchange priority) come from [`credit`], selected
 //!   via [`SchedulerKind`] and driven through one object-safe
 //!   [`UploadScheduler`] API;
+//! * peer strategy — honest sharing, free-riding, and the Section III-B
+//!   adversaries (junk senders, participation cheaters, middlemen) — is the
+//!   object-safe [`PeerBehavior`] API, populated through a weighted
+//!   [`BehaviorMix`] and countered via [`Protection`];
 //! * everything is driven by the discrete-event engine in [`des`] and
 //!   measured with [`metrics`].
 //!
@@ -44,19 +48,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod behavior;
 mod config;
 pub mod experiment;
 mod peer;
 mod report;
 mod scenario;
+mod serialize;
 mod simulation;
 mod types;
 
+pub use behavior::{
+    BehaviorKind, BehaviorMix, FreeRider, Honest, JunkSender, Middleman, ParticipationCheater,
+    PeerBehavior, Protection, INFLATED_PARTICIPATION_LEVEL,
+};
 pub use config::SimConfig;
 pub use credit::{SchedulerKind, UploadScheduler};
 pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
-pub use report::SimReport;
+pub use report::{BehaviorStats, SimReport};
 pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow};
 pub use simulation::{RingCacheStats, RingCandidateCache, Simulation};
 pub use types::{PeerClass, SessionEnd, SessionKind};

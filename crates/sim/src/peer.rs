@@ -6,7 +6,7 @@ use des::SimTime;
 use netsim::SlotPool;
 use workload::{ObjectId, PeerId, PeerInterests, Storage};
 
-use crate::PeerClass;
+use crate::{BehaviorKind, PeerClass};
 
 /// The state of one pending download (one "outstanding request").
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +40,13 @@ impl WantState {
 pub struct PeerState {
     /// The peer's identifier.
     pub id: PeerId,
-    /// Whether the peer uploads at all.
+    /// The peer's strategic behavior (see [`crate::PeerBehavior`]).  The
+    /// boxed trait object lives in the simulation; this is its plain-data
+    /// name.
+    pub behavior: BehaviorKind,
+    /// Whether the peer uploads at all.  Derived from `behavior`
+    /// (`PeerBehavior::uploads`); cached here because the scheduling hot
+    /// paths read it constantly.
     pub sharing: bool,
     /// The categories the peer is interested in.
     pub interests: PeerInterests,
@@ -56,17 +62,26 @@ pub struct PeerState {
     pub downloaded_bytes: u64,
     /// Total bytes this peer has uploaded over the run.
     pub uploaded_bytes: u64,
+    /// Bytes received that turned out to be junk (a cheating uploader).
+    pub junk_bytes: u64,
+    /// Bytes received that the peer can never decrypt (a middleman under
+    /// [`crate::Protection::Mediated`]).
+    pub ciphertext_bytes: u64,
 }
 
 impl PeerState {
     /// The peer's class label for reporting.
     #[must_use]
     pub fn class(&self) -> PeerClass {
-        if self.sharing {
-            PeerClass::Sharing
-        } else {
-            PeerClass::NonSharing
-        }
+        self.behavior.class()
+    }
+
+    /// Bytes received as genuine, decryptable content.
+    #[must_use]
+    pub fn usable_bytes(&self) -> u64 {
+        self.downloaded_bytes
+            .saturating_sub(self.junk_bytes)
+            .saturating_sub(self.ciphertext_bytes)
     }
 
     /// Whether the peer can accept one more outstanding download.
@@ -94,14 +109,15 @@ mod tests {
     use des::DetRng;
     use workload::{Catalog, WorkloadConfig};
 
-    fn test_peer(sharing: bool) -> PeerState {
+    fn test_peer(behavior: BehaviorKind) -> PeerState {
         let config = WorkloadConfig::small();
         let mut rng = DetRng::seed_from(1);
         let catalog = Catalog::generate(&config, &mut rng);
         let interests = PeerInterests::generate(&catalog, &config, &mut rng);
         PeerState {
             id: PeerId::new(0),
-            sharing,
+            behavior,
+            sharing: behavior.build().uploads(),
             interests,
             storage: Storage::new(5),
             upload_slots: SlotPool::new(8),
@@ -109,18 +125,40 @@ mod tests {
             wants: BTreeMap::new(),
             downloaded_bytes: 0,
             uploaded_bytes: 0,
+            junk_bytes: 0,
+            ciphertext_bytes: 0,
         }
     }
 
     #[test]
-    fn class_follows_sharing_flag() {
-        assert_eq!(test_peer(true).class(), PeerClass::Sharing);
-        assert_eq!(test_peer(false).class(), PeerClass::NonSharing);
+    fn class_follows_behavior() {
+        assert_eq!(test_peer(BehaviorKind::Honest).class(), PeerClass::Sharing);
+        assert_eq!(
+            test_peer(BehaviorKind::FreeRider).class(),
+            PeerClass::NonSharing
+        );
+        assert_eq!(
+            test_peer(BehaviorKind::Middleman).class(),
+            PeerClass::Sharing
+        );
+        assert!(test_peer(BehaviorKind::JunkSender).sharing);
+        assert!(!test_peer(BehaviorKind::ParticipationCheater).sharing);
+    }
+
+    #[test]
+    fn usable_bytes_subtract_junk_and_ciphertext() {
+        let mut peer = test_peer(BehaviorKind::Honest);
+        peer.downloaded_bytes = 100;
+        peer.junk_bytes = 30;
+        peer.ciphertext_bytes = 20;
+        assert_eq!(peer.usable_bytes(), 50);
+        peer.junk_bytes = 200; // defensive: never underflows
+        assert_eq!(peer.usable_bytes(), 0);
     }
 
     #[test]
     fn pending_request_budget() {
-        let mut peer = test_peer(true);
+        let mut peer = test_peer(BehaviorKind::Honest);
         assert!(peer.can_issue_request(2));
         peer.wants
             .insert(ObjectId::new(1), WantState::new(SimTime::ZERO, vec![]));
@@ -132,7 +170,7 @@ mod tests {
 
     #[test]
     fn has_or_wants_covers_storage_and_pending() {
-        let mut peer = test_peer(true);
+        let mut peer = test_peer(BehaviorKind::Honest);
         peer.storage.insert(ObjectId::new(7));
         peer.wants
             .insert(ObjectId::new(9), WantState::new(SimTime::ZERO, vec![]));

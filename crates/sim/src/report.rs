@@ -5,7 +5,65 @@ use std::collections::BTreeMap;
 use metrics::{Cdf, ClassTally, OnlineStats, SampleSet};
 
 use crate::simulation::RingCacheStats;
-use crate::{PeerClass, SessionKind};
+use crate::{BehaviorKind, PeerClass, SessionEnd, SessionKind};
+
+/// Per-behavior measurements of one run: what each strategic population
+/// contributed, gained, and got caught doing (the paper's Section III-B
+/// question: how much does each cheater gain under a given scheduler ×
+/// protection combination?).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BehaviorStats {
+    /// Number of peers with this behavior.
+    pub peers: usize,
+    /// Total bytes uploaded by these peers (junk and relays included).
+    pub uploaded_bytes: u64,
+    /// Total bytes downloaded by these peers, of any quality.
+    pub downloaded_bytes: u64,
+    /// Downloaded bytes that turned out to be junk.
+    pub junk_bytes: u64,
+    /// Downloaded bytes these peers can never decrypt (middlemen under
+    /// [`crate::Protection::Mediated`]).
+    pub ciphertext_bytes: u64,
+    /// Downloads completed as genuine, usable objects.
+    pub completed_downloads: u64,
+    /// Downloads that completed as undecryptable ciphertext (not counted in
+    /// `completed_downloads` or the class download-time statistics).
+    pub ciphertext_downloads: u64,
+    /// Times an uploader of this behavior was caught serving junk.
+    pub cheat_detections: u64,
+    /// Download-time statistics (minutes) of the usable completions.
+    pub download_time_min: OnlineStats,
+}
+
+impl BehaviorStats {
+    /// Downloaded bytes that are genuine, decryptable content.
+    #[must_use]
+    pub fn usable_bytes(&self) -> u64 {
+        self.downloaded_bytes
+            .saturating_sub(self.junk_bytes)
+            .saturating_sub(self.ciphertext_bytes)
+    }
+
+    /// Mean usable megabytes downloaded per peer of this behavior, if any
+    /// peers carry it.
+    #[must_use]
+    pub fn mean_usable_mb_per_peer(&self) -> Option<f64> {
+        if self.peers == 0 {
+            return None;
+        }
+        Some(self.usable_bytes() as f64 / (1024.0 * 1024.0) / self.peers as f64)
+    }
+
+    /// Mean download time in minutes of the usable completions, if any.
+    #[must_use]
+    pub fn mean_download_time_min(&self) -> Option<f64> {
+        if self.download_time_min.is_empty() {
+            None
+        } else {
+            Some(self.download_time_min.mean())
+        }
+    }
+}
 
 /// Everything a finished simulation run reports.
 ///
@@ -16,14 +74,18 @@ use crate::{PeerClass, SessionKind};
 /// * the fraction of sessions that are exchange transfers (Figure 5);
 /// * per-session transferred bytes and waiting times broken down by session
 ///   type (Figures 7 and 8);
-/// * per-peer downloaded volume by class (Figure 10).
+/// * per-peer downloaded volume by class (Figure 10);
+/// * per-behavior gains, losses and cheat detections (Section III-B), via
+///   [`SimReport::behavior_stats`].
 #[derive(Debug, Clone)]
 pub struct SimReport {
     download_time_min: ClassTally<PeerClass>,
     waiting_secs: BTreeMap<SessionKind, SampleSet>,
     session_bytes: BTreeMap<SessionKind, SampleSet>,
     session_counts: BTreeMap<SessionKind, u64>,
+    session_ends: BTreeMap<SessionEnd, u64>,
     volume_per_peer_mb: ClassTally<PeerClass>,
+    behaviors: BTreeMap<BehaviorKind, BehaviorStats>,
     completed_downloads: u64,
     rings_formed: BTreeMap<usize, u64>,
     token_declines: u64,
@@ -43,7 +105,9 @@ impl SimReport {
             waiting_secs: BTreeMap::new(),
             session_bytes: BTreeMap::new(),
             session_counts: BTreeMap::new(),
+            session_ends: BTreeMap::new(),
             volume_per_peer_mb: ClassTally::new(),
+            behaviors: BTreeMap::new(),
             completed_downloads: 0,
             rings_formed: BTreeMap::new(),
             token_declines: 0,
@@ -57,10 +121,46 @@ impl SimReport {
 
     // ---- recording (used by the simulator) ---------------------------------
 
-    /// Records one completed download by a peer of `class`, in minutes.
-    pub fn record_download(&mut self, class: PeerClass, minutes: f64) {
+    /// Records one completed, usable download by a peer of `class` and
+    /// `behavior`, in minutes.
+    pub fn record_download(&mut self, class: PeerClass, behavior: BehaviorKind, minutes: f64) {
         self.download_time_min.record(class, minutes);
         self.completed_downloads += 1;
+        let stats = self.behaviors.entry(behavior).or_default();
+        stats.completed_downloads += 1;
+        stats.download_time_min.record(minutes);
+    }
+
+    /// Records a download that completed as undecryptable ciphertext (a
+    /// middleman under [`crate::Protection::Mediated`]).  Kept out of the
+    /// class download-time statistics: the peer assembled garbage.
+    pub fn record_ciphertext_download(&mut self, behavior: BehaviorKind) {
+        self.behaviors
+            .entry(behavior)
+            .or_default()
+            .ciphertext_downloads += 1;
+    }
+
+    /// Records that an uploader of `behavior` was caught serving junk.
+    pub fn record_cheat_detection(&mut self, behavior: BehaviorKind) {
+        self.behaviors.entry(behavior).or_default().cheat_detections += 1;
+    }
+
+    /// Records one peer's end-of-run byte totals under its behavior.
+    pub fn record_peer_behavior_totals(
+        &mut self,
+        behavior: BehaviorKind,
+        uploaded_bytes: u64,
+        downloaded_bytes: u64,
+        junk_bytes: u64,
+        ciphertext_bytes: u64,
+    ) {
+        let stats = self.behaviors.entry(behavior).or_default();
+        stats.peers += 1;
+        stats.uploaded_bytes += uploaded_bytes;
+        stats.downloaded_bytes += downloaded_bytes;
+        stats.junk_bytes += junk_bytes;
+        stats.ciphertext_bytes += ciphertext_bytes;
     }
 
     /// Records the waiting time (request → first byte of a session) of one
@@ -72,13 +172,15 @@ impl SimReport {
             .record(seconds);
     }
 
-    /// Records a finished session: its kind and the bytes it carried.
-    pub fn record_session(&mut self, kind: SessionKind, bytes: u64) {
+    /// Records a finished session: its kind, the bytes it carried, and why
+    /// it ended.
+    pub fn record_session(&mut self, kind: SessionKind, bytes: u64, end: SessionEnd) {
         self.session_bytes
             .entry(kind)
             .or_insert_with(|| SampleSet::with_capacity(200_000))
             .record(bytes as f64);
         *self.session_counts.entry(kind).or_insert(0) += 1;
+        *self.session_ends.entry(end).or_insert(0) += 1;
     }
 
     /// Records the activation of an exchange ring of `size` peers.
@@ -263,6 +365,39 @@ impl SimReport {
     pub fn preemptions(&self) -> u64 {
         self.preemptions
     }
+
+    /// The per-behavior breakdown of the run, keyed by [`BehaviorKind`].
+    #[must_use]
+    pub fn behavior_breakdown(&self) -> &BTreeMap<BehaviorKind, BehaviorStats> {
+        &self.behaviors
+    }
+
+    /// The stats of one behavior, if any peer carried it.
+    #[must_use]
+    pub fn behavior_stats(&self, behavior: BehaviorKind) -> Option<&BehaviorStats> {
+        self.behaviors.get(&behavior)
+    }
+
+    /// Mean usable megabytes downloaded per peer of `behavior` — the
+    /// quantity Section III-B's attacks try to maximise.
+    #[must_use]
+    pub fn mean_usable_mb_per_peer(&self, behavior: BehaviorKind) -> Option<f64> {
+        self.behaviors
+            .get(&behavior)
+            .and_then(BehaviorStats::mean_usable_mb_per_peer)
+    }
+
+    /// Total times a cheating uploader was caught, across behaviors.
+    #[must_use]
+    pub fn cheat_detections(&self) -> u64 {
+        self.behaviors.values().map(|s| s.cheat_detections).sum()
+    }
+
+    /// How many recorded sessions ended for each reason.
+    #[must_use]
+    pub fn session_end_counts(&self) -> &BTreeMap<SessionEnd, u64> {
+        &self.session_ends
+    }
 }
 
 #[cfg(test)]
@@ -284,9 +419,9 @@ mod tests {
     #[test]
     fn download_metrics_accumulate() {
         let mut r = SimReport::new(2);
-        r.record_download(PeerClass::Sharing, 10.0);
-        r.record_download(PeerClass::Sharing, 20.0);
-        r.record_download(PeerClass::NonSharing, 60.0);
+        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 10.0);
+        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 20.0);
+        r.record_download(PeerClass::NonSharing, BehaviorKind::FreeRider, 60.0);
         assert_eq!(r.completed_downloads(), 3);
         assert_eq!(r.mean_download_time_min(PeerClass::Sharing), Some(15.0));
         assert_eq!(r.download_time_ratio(), Some(4.0));
@@ -296,10 +431,22 @@ mod tests {
     #[test]
     fn session_fraction_counts_exchanges() {
         let mut r = SimReport::new(2);
-        r.record_session(SessionKind::NonExchange, 100);
-        r.record_session(SessionKind::Exchange { ring_size: 2 }, 200);
-        r.record_session(SessionKind::Exchange { ring_size: 3 }, 300);
-        r.record_session(SessionKind::Exchange { ring_size: 2 }, 400);
+        r.record_session(SessionKind::NonExchange, 100, SessionEnd::DownloadComplete);
+        r.record_session(
+            SessionKind::Exchange { ring_size: 2 },
+            200,
+            SessionEnd::DownloadComplete,
+        );
+        r.record_session(
+            SessionKind::Exchange { ring_size: 3 },
+            300,
+            SessionEnd::DownloadComplete,
+        );
+        r.record_session(
+            SessionKind::Exchange { ring_size: 2 },
+            400,
+            SessionEnd::DownloadComplete,
+        );
         assert_eq!(r.total_sessions(), 4);
         assert!((r.exchange_session_fraction() - 0.75).abs() < 1e-12);
         assert_eq!(
@@ -313,7 +460,11 @@ mod tests {
     fn cdfs_reflect_recorded_samples() {
         let mut r = SimReport::new(2);
         for b in [100.0, 200.0, 300.0] {
-            r.record_session(SessionKind::NonExchange, b as u64);
+            r.record_session(
+                SessionKind::NonExchange,
+                b as u64,
+                SessionEnd::DownloadComplete,
+            );
         }
         r.record_waiting(SessionKind::NonExchange, 5.0);
         r.record_waiting(SessionKind::NonExchange, 15.0);
@@ -367,5 +518,71 @@ mod tests {
         assert_eq!(r.mean_volume_per_peer_mb(PeerClass::NonSharing), Some(10.0));
         r.set_sim_seconds(3_600.0);
         assert_eq!(r.sim_seconds(), 3_600.0);
+    }
+
+    #[test]
+    fn behavior_breakdown_accumulates_gains_and_detections() {
+        let mut r = SimReport::new(3);
+        let mb = 1024 * 1024;
+        r.record_peer_behavior_totals(BehaviorKind::Middleman, 5 * mb, 10 * mb, 0, 4 * mb);
+        r.record_peer_behavior_totals(BehaviorKind::Honest, 20 * mb, 8 * mb, 2 * mb, 0);
+        r.record_peer_behavior_totals(BehaviorKind::Honest, 0, 0, 0, 0);
+        r.record_cheat_detection(BehaviorKind::JunkSender);
+        r.record_cheat_detection(BehaviorKind::JunkSender);
+        r.record_ciphertext_download(BehaviorKind::Middleman);
+
+        let middleman = r.behavior_stats(BehaviorKind::Middleman).unwrap();
+        assert_eq!(middleman.peers, 1);
+        assert_eq!(middleman.usable_bytes(), 6 * mb);
+        assert_eq!(middleman.mean_usable_mb_per_peer(), Some(6.0));
+        assert_eq!(middleman.ciphertext_downloads, 1);
+
+        let honest = r.behavior_stats(BehaviorKind::Honest).unwrap();
+        assert_eq!(honest.peers, 2);
+        assert_eq!(honest.usable_bytes(), 6 * mb);
+        assert_eq!(r.mean_usable_mb_per_peer(BehaviorKind::Honest), Some(3.0));
+
+        assert_eq!(r.cheat_detections(), 2);
+        assert_eq!(
+            r.behavior_stats(BehaviorKind::JunkSender)
+                .unwrap()
+                .cheat_detections,
+            2
+        );
+        assert!(r.behavior_stats(BehaviorKind::FreeRider).is_none());
+        assert_eq!(r.behavior_breakdown().len(), 3);
+    }
+
+    #[test]
+    fn session_ends_are_counted_per_reason() {
+        let mut r = SimReport::new(2);
+        r.record_session(SessionKind::NonExchange, 10, SessionEnd::DownloadComplete);
+        r.record_session(
+            SessionKind::Exchange { ring_size: 2 },
+            20,
+            SessionEnd::CheatDetected,
+        );
+        r.record_session(
+            SessionKind::Exchange { ring_size: 2 },
+            30,
+            SessionEnd::RingDissolved,
+        );
+        assert_eq!(r.session_end_counts()[&SessionEnd::CheatDetected], 1);
+        assert_eq!(r.session_end_counts()[&SessionEnd::RingDissolved], 1);
+        assert!(!r.session_end_counts().contains_key(&SessionEnd::Preempted));
+    }
+
+    #[test]
+    fn download_times_split_by_behavior() {
+        let mut r = SimReport::new(2);
+        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 10.0);
+        r.record_download(PeerClass::Sharing, BehaviorKind::JunkSender, 30.0);
+        let honest = r.behavior_stats(BehaviorKind::Honest).unwrap();
+        assert_eq!(honest.mean_download_time_min(), Some(10.0));
+        assert_eq!(honest.completed_downloads, 1);
+        let junk = r.behavior_stats(BehaviorKind::JunkSender).unwrap();
+        assert_eq!(junk.mean_download_time_min(), Some(30.0));
+        // The class tally still aggregates both (both upload, hence Sharing).
+        assert_eq!(r.mean_download_time_min(PeerClass::Sharing), Some(20.0));
     }
 }

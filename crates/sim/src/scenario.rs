@@ -16,7 +16,7 @@ use credit::SchedulerKind;
 use exchange::ExchangePolicy;
 use metrics::OnlineStats;
 
-use crate::{SimConfig, SimReport, Simulation};
+use crate::{BehaviorMix, Protection, SimConfig, SimReport, Simulation};
 
 /// A shared, composable configuration mutation used by [`Axis::custom`].
 pub type ConfigSetter = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
@@ -32,8 +32,13 @@ pub enum Axis {
     Discipline(Vec<ExchangePolicy>),
     /// Vary the upload scheduler ordering non-exchange requests.
     Scheduler(Vec<SchedulerKind>),
-    /// Vary the fraction of non-sharing peers (Figure 12).
+    /// Vary the fraction of non-sharing peers (Figure 12).  Sugar for a
+    /// two-entry [`Axis::Behaviors`] sweep.
     FreeriderFraction(Vec<f64>),
+    /// Vary the weighted behavior population (Section III-B studies).
+    Behaviors(Vec<BehaviorMix>),
+    /// Vary the cheating countermeasure on the transfer path.
+    Protection(Vec<Protection>),
     /// Vary the category/object popularity factor `f` (Figures 9 and 10).
     PopularityFactor(Vec<f64>),
     /// Vary the maximum number of outstanding requests (Figure 11).
@@ -89,6 +94,8 @@ impl Axis {
             Axis::Discipline(_) => "discipline",
             Axis::Scheduler(_) => "scheduler",
             Axis::FreeriderFraction(_) => "freerider_fraction",
+            Axis::Behaviors(_) => "behaviors",
+            Axis::Protection(_) => "protection",
             Axis::PopularityFactor(_) => "popularity_factor",
             Axis::MaxPendingObjects(_) => "max_pending",
             Axis::CategoriesPerPeer(_) => "categories_per_peer",
@@ -104,6 +111,8 @@ impl Axis {
             Axis::Discipline(v) => v.len(),
             Axis::Scheduler(v) => v.len(),
             Axis::FreeriderFraction(v) => v.len(),
+            Axis::Behaviors(v) => v.len(),
+            Axis::Protection(v) => v.len(),
             Axis::PopularityFactor(v) => v.len(),
             Axis::MaxPendingObjects(v) => v.len(),
             Axis::CategoriesPerPeer(v) => v.len(),
@@ -126,6 +135,8 @@ impl Axis {
             Axis::Discipline(v) => v[index].label(),
             Axis::Scheduler(v) => v[index].label().to_string(),
             Axis::FreeriderFraction(v) => format!("{}", v[index]),
+            Axis::Behaviors(v) => v[index].label(),
+            Axis::Protection(v) => v[index].label(),
             Axis::PopularityFactor(v) => format!("{}", v[index]),
             Axis::MaxPendingObjects(v) => v[index].to_string(),
             Axis::CategoriesPerPeer(v) => v[index].to_string(),
@@ -139,7 +150,11 @@ impl Axis {
             Axis::UploadKbps(v) => config.link = config.link.with_upload_kbps(v[index]),
             Axis::Discipline(v) => config.discipline = v[index],
             Axis::Scheduler(v) => config.scheduler = v[index],
-            Axis::FreeriderFraction(v) => config.freerider_fraction = v[index],
+            Axis::FreeriderFraction(v) => {
+                config.behaviors = BehaviorMix::with_freeriders(v[index]);
+            }
+            Axis::Behaviors(v) => config.behaviors = v[index].clone(),
+            Axis::Protection(v) => config.protection = v[index],
             Axis::PopularityFactor(v) => {
                 config.workload.category_popularity_factor = v[index];
                 config.workload.object_popularity_factor = v[index];
@@ -244,6 +259,18 @@ impl Scenario {
     #[must_use]
     pub fn schedulers(self, kinds: impl IntoIterator<Item = SchedulerKind>) -> Self {
         self.vary(Axis::Scheduler(kinds.into_iter().collect()))
+    }
+
+    /// Sugar for varying the behavior population (Section III-B studies).
+    #[must_use]
+    pub fn behaviors(self, mixes: impl IntoIterator<Item = BehaviorMix>) -> Self {
+        self.vary(Axis::Behaviors(mixes.into_iter().collect()))
+    }
+
+    /// Sugar for varying the cheating countermeasure.
+    #[must_use]
+    pub fn protections(self, protections: impl IntoIterator<Item = Protection>) -> Self {
+        self.vary(Axis::Protection(protections.into_iter().collect()))
     }
 
     /// Sets the seeds each grid point runs under (default: just seed 0).
@@ -627,7 +654,7 @@ mod tests {
     #[test]
     fn aggregate_skips_unreported_metrics() {
         let mut base = tiny_base();
-        base.freerider_fraction = 0.0; // nobody is non-sharing
+        base.behaviors = BehaviorMix::honest(); // nobody is non-sharing
         let grid = Scenario::from(base).seeds([1]).run();
         assert!(grid
             .aggregate(0, |r| r.mean_download_time_min(PeerClass::NonSharing))
@@ -661,6 +688,37 @@ mod tests {
             .expect("point exists");
         assert!(slow.n == 2);
         assert!(grid.find_point(&[("upload_kbps", "75")]).is_none());
+    }
+
+    #[test]
+    fn behavior_and_protection_axes_mutate_the_config() {
+        use crate::BehaviorKind;
+        let adversarial =
+            BehaviorMix::weighted([(BehaviorKind::Honest, 0.5), (BehaviorKind::Middleman, 0.5)]);
+        let scenario = Scenario::from(tiny_base())
+            .behaviors([BehaviorMix::honest(), adversarial.clone()])
+            .protections([Protection::None, Protection::Mediated]);
+        let points = scenario.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].value("behaviors"), Some("honest:1"));
+        assert_eq!(points[0].value("protection"), Some("none"));
+        assert_eq!(points[3].config.behaviors, adversarial);
+        assert_eq!(points[3].config.protection, Protection::Mediated);
+        assert_eq!(
+            points[3].value("behaviors"),
+            Some("honest:0.5+middleman:0.5")
+        );
+    }
+
+    #[test]
+    fn freerider_axis_rewrites_the_mix() {
+        let scenario = Scenario::from(tiny_base()).vary(Axis::FreeriderFraction(vec![0.25]));
+        let points = scenario.points();
+        assert_eq!(
+            points[0].config.behaviors,
+            BehaviorMix::with_freeriders(0.25)
+        );
+        assert_eq!(points[0].value("freerider_fraction"), Some("0.25"));
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Hand-rolled JSON and CSV serialization of [`SweepGrid`] results.
+//!
+//! The workspace's `serde` is an offline stub (no crates.io access), so the
+//! writers here are self-contained: [`SweepGrid::write_csv`] emits one row
+//! per `(point, seed)` run with the axis values and headline metrics, and
+//! [`SweepGrid::write_json`] additionally nests the per-behavior breakdown.
+//! Both exist so sweep results can leave the process for plotting without
+//! any external dependency.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+use crate::{BehaviorKind, SimReport, SweepGrid};
+
+/// One headline metric column: its name and the report extractor.
+type MetricColumn = (&'static str, fn(&SimReport) -> Option<f64>);
+
+/// The fixed scalar metrics every row carries, as `(column, extractor)`.
+fn scalar_metrics() -> Vec<MetricColumn> {
+    vec![
+        ("completed_downloads", |r| {
+            Some(r.completed_downloads() as f64)
+        }),
+        ("total_sessions", |r| Some(r.total_sessions() as f64)),
+        ("total_rings", |r| Some(r.total_rings() as f64)),
+        ("exchange_session_fraction", |r| {
+            Some(r.exchange_session_fraction())
+        }),
+        ("preemptions", |r| Some(r.preemptions() as f64)),
+        ("cheat_detections", |r| Some(r.cheat_detections() as f64)),
+        ("mean_download_min_sharing", |r| {
+            r.mean_download_time_min(crate::PeerClass::Sharing)
+        }),
+        ("mean_download_min_non_sharing", |r| {
+            r.mean_download_time_min(crate::PeerClass::NonSharing)
+        }),
+        ("sim_seconds", |r| Some(r.sim_seconds())),
+    ]
+}
+
+/// Every behavior observed anywhere in the grid, in kind order.
+fn observed_behaviors(grid: &SweepGrid) -> Vec<BehaviorKind> {
+    let mut kinds: BTreeSet<BehaviorKind> = BTreeSet::new();
+    for row in grid.rows() {
+        kinds.extend(row.report.behavior_breakdown().keys().copied());
+    }
+    kinds.into_iter().collect()
+}
+
+/// Formats a float for JSON: finite values via `{}` (shortest round-trip),
+/// everything else as the JSON literal `null`.
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Formats an optional float for CSV: finite values via `{}`, everything
+/// else (unreported or non-finite) as an empty field, so numeric columns
+/// stay numeric for downstream parsers.
+fn csv_f64(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => String::new(),
+    }
+}
+
+/// Escapes `field` for CSV: quoted (with doubled quotes) only when needed.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Escapes `s` as a JSON string body (without the surrounding quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SweepGrid {
+    /// Writes the grid as CSV: one row per `(point, seed)` run, with the
+    /// point label, every axis value, the headline metrics, and per-behavior
+    /// usable megabytes.  Metrics a run did not report are left empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error of `writer`.
+    pub fn write_csv<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        let axes: Vec<&str> = self
+            .points()
+            .first()
+            .map(|p| p.values.iter().map(|(name, _)| name.as_str()).collect())
+            .unwrap_or_default();
+        let metrics = scalar_metrics();
+        let behaviors = observed_behaviors(self);
+
+        let mut header: Vec<String> = vec!["point".into(), "label".into(), "seed".into()];
+        header.extend(axes.iter().map(|a| (*a).to_string()));
+        header.extend(metrics.iter().map(|(name, _)| (*name).to_string()));
+        for kind in &behaviors {
+            header.push(format!("usable_mb_per_peer[{kind}]"));
+        }
+        writeln!(
+            writer,
+            "{}",
+            header
+                .iter()
+                .map(|h| csv_escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+
+        for row in self.rows() {
+            let point = self.point(row.point);
+            let mut fields: Vec<String> = vec![
+                row.point.to_string(),
+                csv_escape(&point.label),
+                row.seed.to_string(),
+            ];
+            for axis in &axes {
+                fields.push(csv_escape(point.value(axis).unwrap_or("")));
+            }
+            for (_, metric) in &metrics {
+                fields.push(csv_f64(metric(&row.report)));
+            }
+            for kind in &behaviors {
+                fields.push(csv_f64(row.report.mean_usable_mb_per_peer(*kind)));
+            }
+            writeln!(writer, "{}", fields.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the grid as a single JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "seeds": [0, 1],
+    ///   "points": [{"index": 0, "label": "...", "values": {"axis": "value"}}],
+    ///   "rows": [{"point": 0, "seed": 0, "metrics": {...}, "behaviors": {...}}]
+    /// }
+    /// ```
+    ///
+    /// `metrics` carries the same headline numbers as the CSV; `behaviors`
+    /// nests the full per-behavior breakdown (bytes up/down, usable vs
+    /// junk vs ciphertext, completions, cheat detections).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error of `writer`.
+    pub fn write_json<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        let metrics = scalar_metrics();
+        write!(writer, "{{\"seeds\":[")?;
+        for (i, seed) in self.seeds().iter().enumerate() {
+            if i > 0 {
+                write!(writer, ",")?;
+            }
+            write!(writer, "{seed}")?;
+        }
+        write!(writer, "],\"points\":[")?;
+        for (i, point) in self.points().iter().enumerate() {
+            if i > 0 {
+                write!(writer, ",")?;
+            }
+            write!(
+                writer,
+                "{{\"index\":{},\"label\":\"{}\",\"values\":{{",
+                point.index,
+                json_escape(&point.label)
+            )?;
+            for (j, (axis, value)) in point.values.iter().enumerate() {
+                if j > 0 {
+                    write!(writer, ",")?;
+                }
+                write!(
+                    writer,
+                    "\"{}\":\"{}\"",
+                    json_escape(axis),
+                    json_escape(value)
+                )?;
+            }
+            write!(writer, "}}}}")?;
+        }
+        write!(writer, "],\"rows\":[")?;
+        for (i, row) in self.rows().iter().enumerate() {
+            if i > 0 {
+                write!(writer, ",")?;
+            }
+            write!(
+                writer,
+                "{{\"point\":{},\"seed\":{},\"metrics\":{{",
+                row.point, row.seed
+            )?;
+            for (j, (name, metric)) in metrics.iter().enumerate() {
+                if j > 0 {
+                    write!(writer, ",")?;
+                }
+                let value = metric(&row.report).map_or("null".to_string(), fmt_f64);
+                write!(writer, "\"{name}\":{value}")?;
+            }
+            write!(writer, "}},\"behaviors\":{{")?;
+            for (j, (kind, stats)) in row.report.behavior_breakdown().iter().enumerate() {
+                if j > 0 {
+                    write!(writer, ",")?;
+                }
+                write!(
+                    writer,
+                    "\"{}\":{{\"peers\":{},\"uploaded_bytes\":{},\"downloaded_bytes\":{},\
+                     \"usable_bytes\":{},\"junk_bytes\":{},\"ciphertext_bytes\":{},\
+                     \"completed_downloads\":{},\"ciphertext_downloads\":{},\
+                     \"cheat_detections\":{},\"mean_download_time_min\":{}}}",
+                    json_escape(kind.label()),
+                    stats.peers,
+                    stats.uploaded_bytes,
+                    stats.downloaded_bytes,
+                    stats.usable_bytes(),
+                    stats.junk_bytes,
+                    stats.ciphertext_bytes,
+                    stats.completed_downloads,
+                    stats.ciphertext_downloads,
+                    stats.cheat_detections,
+                    stats
+                        .mean_download_time_min()
+                        .map_or("null".to_string(), fmt_f64),
+                )?;
+            }
+            write!(writer, "}}}}")?;
+        }
+        write!(writer, "]}}")?;
+        Ok(())
+    }
+
+    /// [`SweepGrid::write_csv`] into a `String`.
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut buffer = Vec::new();
+        self.write_csv(&mut buffer)
+            .expect("writing to a Vec never fails");
+        String::from_utf8(buffer).expect("CSV output is UTF-8")
+    }
+
+    /// [`SweepGrid::write_json`] into a `String`.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut buffer = Vec::new();
+        self.write_json(&mut buffer)
+            .expect("writing to a Vec never fails");
+        String::from_utf8(buffer).expect("JSON output is UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, Scenario, SimConfig};
+
+    fn tiny_grid() -> SweepGrid {
+        let mut config = SimConfig::quick_test();
+        config.num_peers = 16;
+        config.sim_duration_s = 600.0;
+        Scenario::from(config)
+            .vary(Axis::UploadKbps(vec![60.0, 100.0]))
+            .seeds(0..2)
+            .run()
+    }
+
+    #[test]
+    fn csv_has_one_row_per_run_plus_header() {
+        let grid = tiny_grid();
+        let csv = grid.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + grid.rows().len());
+        assert!(lines[0].starts_with("point,label,seed,upload_kbps,completed_downloads"));
+        assert!(lines[0].contains("cheat_detections"));
+        assert!(lines[0].contains("usable_mb_per_peer[honest]"));
+        // Every data line has the same number of fields as the header.
+        let columns = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        }
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn csv_escapes_embedded_delimiters() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_is_structured_and_balanced() {
+        let grid = tiny_grid();
+        let json = grid.to_json_string();
+        assert!(json.starts_with("{\"seeds\":[0,1]"));
+        assert!(json.contains("\"points\":["));
+        assert!(json.contains("\"upload_kbps\":\"60\""));
+        assert!(json.contains("\"completed_downloads\":"));
+        assert!(json.contains("\"behaviors\":{"));
+        assert!(json.contains("\"honest\":{"));
+        assert!(json.contains("\"free-rider\":{"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(grid.rows().len(), json.matches("\"seed\":").count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_metrics_serialize_as_null_in_json_and_empty_in_csv() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(csv_f64(Some(f64::NAN)), "");
+        assert_eq!(csv_f64(Some(f64::NEG_INFINITY)), "");
+        assert_eq!(csv_f64(None), "");
+        assert_eq!(csv_f64(Some(2.25)), "2.25");
+    }
+}

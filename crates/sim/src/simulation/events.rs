@@ -50,14 +50,30 @@ impl Simulation {
     }
 
     /// Looks up providers for `object` and registers requests with them.
+    ///
+    /// The lookup sees *advertised* holdings: every sharing peer that stores
+    /// the object (honest or junk-serving — a requester cannot tell), plus
+    /// any middleman that advertises it without storing it.  Middlemen only
+    /// advertise objects some honest holder could source, so relayed content
+    /// never materialises out of thin air.
     fn issue_request(&mut self, requester: PeerId, object: ObjectId) {
-        // Lookup: every sharing peer that currently stores the object.
-        let all_providers: Vec<PeerId> = self
-            .peers
-            .iter()
-            .filter(|p| p.id != requester && p.sharing && p.storage.contains(object))
-            .map(|p| p.id)
-            .collect();
+        let mut all_providers: Vec<PeerId> = Vec::new();
+        let mut advertisers: Vec<PeerId> = Vec::new();
+        let mut honest_source = false;
+        for p in &self.peers {
+            if p.id == requester || !p.sharing {
+                continue;
+            }
+            if p.storage.contains(object) {
+                all_providers.push(p.id);
+                honest_source |= self.behaviors[p.id.as_usize()].shares_honestly();
+            } else if self.behaviors[p.id.as_usize()].advertises_unstored() {
+                advertisers.push(p.id);
+            }
+        }
+        if honest_source {
+            all_providers.extend(advertisers);
+        }
         if all_providers.is_empty() {
             return; // nothing to request from right now
         }
@@ -82,6 +98,14 @@ impl Simulation {
         if registered.is_empty() {
             return;
         }
+        // Queueing up is when a peer (re-)announces its participation level;
+        // behaviors may inflate it (the KaZaA cheat of Section III-B).  Only
+        // the participation-level scheduler listens.
+        let honest_level = self.peer(requester).uploaded_bytes as f64 / (1024.0 * 1024.0);
+        let announced = self
+            .behavior(requester)
+            .reported_participation(honest_level);
+        self.scheduler.on_participation_report(requester, announced);
         self.peer_mut(requester)
             .wants
             .insert(object, WantState::new(now, registered.clone()));
@@ -129,10 +153,49 @@ impl Simulation {
             for requester in stale {
                 self.graph.remove_request(requester, peer, object);
             }
+            self.withdraw_unsourceable_middleman_claims(object);
         }
         self.engine.schedule_in(
             SimDuration::from_secs_f64(self.config.storage_maintenance_interval_s),
             Event::StorageMaintenance(peer),
         );
+    }
+
+    /// `object` just lost a holder.  A middleman's advertisement is only as
+    /// good as its source: if no honest holder remains anywhere, withdraw
+    /// every request edge that backs a middleman's claim on the object, so
+    /// relayed content never materialises out of thin air.  The withdrawals
+    /// go through the graph's dirty set, which keeps the ring-candidate
+    /// cache exact.
+    fn withdraw_unsourceable_middleman_claims(&mut self, object: ObjectId) {
+        let sourceable = self.peers.iter().any(|p| {
+            p.sharing
+                && p.storage.contains(object)
+                && self.behaviors[p.id.as_usize()].shares_honestly()
+        });
+        if sourceable {
+            return;
+        }
+        let advertisers: Vec<PeerId> = self
+            .peers
+            .iter()
+            .filter(|p| {
+                p.sharing
+                    && !p.storage.contains(object)
+                    && self.behaviors[p.id.as_usize()].advertises_unstored()
+            })
+            .map(|p| p.id)
+            .collect();
+        for middleman in advertisers {
+            let stale: Vec<PeerId> = self
+                .graph
+                .incoming(middleman)
+                .filter(|r| r.object == object)
+                .map(|r| r.requester)
+                .collect();
+            for requester in stale {
+                self.graph.remove_request(requester, middleman, object);
+            }
+        }
     }
 }

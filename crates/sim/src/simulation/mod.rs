@@ -25,7 +25,7 @@ use exchange::RequestGraph;
 use netsim::SlotPool;
 use workload::{Catalog, ObjectId, PeerId, PeerInterests, RequestGenerator, Storage};
 
-use crate::{PeerState, SessionEnd, SimConfig, SimReport};
+use crate::{PeerBehavior, PeerState, SessionEnd, SimConfig, SimReport};
 
 use events::Event;
 use transfers::{ActiveRing, ActiveTransfer};
@@ -56,6 +56,9 @@ pub struct Simulation {
     config: SimConfig,
     catalog: Catalog,
     peers: Vec<PeerState>,
+    /// One strategic behavior per peer, built from
+    /// [`SimConfig::behaviors`]; indexed like `peers`.
+    behaviors: Vec<Box<dyn PeerBehavior>>,
     graph: RequestGraph<PeerId, ObjectId>,
     request_gen: RequestGenerator,
     transfers: HashMap<TransferId, ActiveTransfer>,
@@ -94,15 +97,12 @@ impl Simulation {
         let catalog = Catalog::generate(&config.workload, &mut rng_setup);
 
         let num_peers = config.num_peers;
-        let num_freeriders = (config.freerider_fraction * num_peers as f64).round() as usize;
-        let mut sharing_flags = vec![true; num_peers];
-        for flag in sharing_flags.iter_mut().take(num_freeriders) {
-            *flag = false;
-        }
-        rng_setup.shuffle(&mut sharing_flags);
+        let kinds = config.behaviors.assign(num_peers, &mut rng_setup);
+        let behaviors: Vec<Box<dyn PeerBehavior>> =
+            kinds.iter().map(crate::BehaviorKind::build).collect();
 
         let mut peers = Vec::with_capacity(num_peers);
-        for (index, sharing) in sharing_flags.into_iter().enumerate() {
+        for (index, behavior) in kinds.into_iter().enumerate() {
             let mut peer_rng = root_rng.indexed_stream("peer-setup", index as u64);
             let interests = PeerInterests::generate(&catalog, &config.workload, &mut peer_rng);
             let (cap_lo, cap_hi) = config.workload.storage_capacity_objects;
@@ -116,7 +116,8 @@ impl Simulation {
             );
             peers.push(PeerState {
                 id: PeerId::new(index as u32),
-                sharing,
+                behavior,
+                sharing: behaviors[index].uploads(),
                 interests,
                 storage,
                 upload_slots: SlotPool::new(config.link.upload_slots()),
@@ -124,6 +125,8 @@ impl Simulation {
                 wants: Default::default(),
                 downloaded_bytes: 0,
                 uploaded_bytes: 0,
+                junk_bytes: 0,
+                ciphertext_bytes: 0,
             });
         }
 
@@ -153,6 +156,7 @@ impl Simulation {
             config,
             catalog,
             peers,
+            behaviors,
             graph: RequestGraph::new(),
             transfers: HashMap::new(),
             rings: HashMap::new(),
@@ -215,6 +219,13 @@ impl Simulation {
         for peer in &self.peers {
             self.report
                 .record_peer_volume(peer.class(), peer.downloaded_bytes);
+            self.report.record_peer_behavior_totals(
+                peer.behavior,
+                peer.uploaded_bytes,
+                peer.downloaded_bytes,
+                peer.junk_bytes,
+                peer.ciphertext_bytes,
+            );
         }
         self.report.set_sim_seconds(self.engine.now().as_secs_f64());
         self.report.set_ring_cache_stats(self.ring_cache.stats());
@@ -237,6 +248,33 @@ impl Simulation {
 
     fn peer_mut(&mut self, id: PeerId) -> &mut PeerState {
         &mut self.peers[id.as_usize()]
+    }
+
+    /// The strategic behavior of `id`.
+    fn behavior(&self, id: PeerId) -> &dyn PeerBehavior {
+        self.behaviors[id.as_usize()].as_ref()
+    }
+
+    /// Whether `peer` claims to be able to serve `object` — its advertised
+    /// holdings.  Every uploading behavior claims its real storage; a
+    /// middleman additionally claims any object someone has an accepted
+    /// request for at it (such a request is only registered when an honest
+    /// holder existed to source the relay, see
+    /// [`Simulation::handle_generate_requests`]).
+    ///
+    /// The middleman claim depends only on `peer`'s storage and its incident
+    /// request edges, both of which invalidate the ring-candidate cache when
+    /// they change, so cached searches stay exact under every behavior mix.
+    pub(crate) fn claims(&self, peer: PeerId, object: ObjectId) -> bool {
+        let state = self.peer(peer);
+        if !state.sharing {
+            return false;
+        }
+        if state.storage.contains(object) {
+            return true;
+        }
+        self.behavior(peer).advertises_unstored()
+            && self.graph.incoming(peer).any(|r| r.object == object)
     }
 }
 
@@ -359,14 +397,14 @@ mod tests {
     }
 
     #[test]
-    fn freerider_fraction_zero_and_one_are_valid() {
+    fn all_honest_and_all_freerider_mixes_are_valid() {
         let mut config = SimConfig::quick_test();
-        config.freerider_fraction = 0.0;
+        config.behaviors = crate::BehaviorMix::honest();
         let all_sharing = Simulation::new(config.clone(), 8);
         assert!(all_sharing.peers().iter().all(|p| p.sharing));
         let _ = all_sharing.run();
 
-        config.freerider_fraction = 1.0;
+        config.behaviors = crate::BehaviorMix::with_freeriders(1.0);
         let none_sharing = Simulation::new(config, 9);
         assert!(none_sharing.peers().iter().all(|p| !p.sharing));
         let report = none_sharing.run();

@@ -94,11 +94,12 @@ impl Simulation {
 
     /// Runs one fresh ring search rooted at `provider`.
     ///
-    /// A peer in the request tree can close a ring if it shares and stores
-    /// an object the provider wants.  (Following the paper, the provider
-    /// examines its pending requests against what the peers in its request
-    /// tree own; it is not limited to the providers its own lookups
-    /// sampled.)
+    /// A peer in the request tree can close a ring if it shares and *claims*
+    /// an object the provider wants — its advertised holdings, which for a
+    /// middleman exceed its real storage ([`Simulation::claims`]).
+    /// (Following the paper, the provider examines its pending requests
+    /// against what the peers in its request tree advertise; it is not
+    /// limited to the providers its own lookups sampled.)
     fn search_rings(
         &self,
         policy: exchange::SearchPolicy,
@@ -109,8 +110,7 @@ impl Simulation {
             .with_expansion_budget(self.config.ring_search_budget)
             .with_fanout(self.config.ring_search_fanout)
             .find_traced(&self.graph, provider, wants, |peer, object| {
-                let candidate = self.peer(*peer);
-                candidate.sharing && candidate.storage.contains(*object)
+                self.claims(*peer, *object)
             })
     }
 
@@ -121,10 +121,10 @@ impl Simulation {
         peer: PeerId,
         edge: &exchange::RingEdge<PeerId, ObjectId>,
     ) -> bool {
-        let uploader = self.peer(peer);
-        if !uploader.sharing || !uploader.storage.contains(edge.object) {
+        if !self.claims(peer, edge.object) {
             return false;
         }
+        let uploader = self.peer(peer);
         let slot_available = uploader.upload_slots.has_free()
             || (self.config.preemption && self.has_preemptible_upload(peer));
         if !slot_available {
@@ -339,7 +339,14 @@ impl Simulation {
             let Some(want) = requester_state.wants.get(&req.object) else {
                 continue;
             };
-            if !self.peer(provider).storage.contains(req.object) {
+            // The provider must still claim the object.  This is
+            // `Simulation::claims` with its edge-existence scan elided:
+            // `req` IS an incoming edge for exactly this object, so the
+            // capability probe alone decides, and the queue rebuild stays
+            // O(queue) instead of O(queue²) at a busy middleman.
+            if !self.peer(provider).storage.contains(req.object)
+                && !self.behavior(provider).advertises_unstored()
+            {
                 continue;
             }
             if !requester_state.download_slots.has_free() {

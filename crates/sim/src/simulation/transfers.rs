@@ -1,9 +1,13 @@
-//! The block-by-block transfer lifecycle and its bookkeeping.
+//! The block-by-block transfer lifecycle and its bookkeeping, including the
+//! Section III-B cheating paths: junk blocks, relayed (middleman) content,
+//! and the windowed-validation / mediator countermeasures.
 
+use des::SimDuration;
+use exchange::cheat::WindowedExchange;
 use netsim::TransferSession;
 use workload::{ObjectId, PeerId};
 
-use crate::{SessionEnd, SessionKind};
+use crate::{BehaviorKind, Protection, SessionEnd, SessionKind};
 
 use super::events::Event;
 use super::{RingId, Simulation, TransferId};
@@ -17,6 +21,10 @@ pub(crate) struct ActiveTransfer {
     pub(crate) kind: SessionKind,
     pub(crate) ring: Option<RingId>,
     pub(crate) session: TransferSession,
+    /// Synchronous block-validation state, present on exchange sessions when
+    /// [`Protection::Windowed`] is active.  The window caps the achievable
+    /// rate at `window × block / rtt` and grows as blocks validate.
+    pub(crate) validation: Option<WindowedExchange>,
 }
 
 /// The transfer sessions forming one activated exchange ring.
@@ -57,6 +65,12 @@ impl Simulation {
 
         let rate = self.config.link.slot_bytes_per_sec();
         let session = TransferSession::new(rate, self.config.block_bytes, now);
+        let validation = match self.config.protection {
+            Protection::Windowed { max_window } if kind.is_exchange() => {
+                Some(WindowedExchange::new(self.config.block_bytes, max_window))
+            }
+            _ => None,
+        };
         let tid = self.next_transfer_id;
         self.next_transfer_id += 1;
         self.transfer_epoch += 1;
@@ -69,6 +83,7 @@ impl Simulation {
                 kind,
                 ring,
                 session,
+                validation,
             },
         );
         self.uploads_by_peer.entry(uploader).or_default().push(tid);
@@ -83,11 +98,46 @@ impl Simulation {
             self.report.record_waiting(kind, waiting_secs);
         }
 
-        let remaining = self.remaining_bytes(downloader, object);
+        let remaining = if self.behavior(uploader).block_validity() {
+            self.remaining_bytes(downloader, object)
+        } else {
+            // A junk stream paces itself against a full (fake) object copy,
+            // independent of how much real data the want already collected.
+            self.catalog.size_bytes(object).max(1)
+        };
         let block = session.next_block_bytes(remaining);
-        self.engine
-            .schedule_in(session.block_duration(block), Event::BlockComplete(tid));
+        let duration = match validation {
+            Some(v) => Self::validated_block_duration(&v, block, self.config.rtt_s, rate),
+            None => session.block_duration(block),
+        };
+        self.engine.schedule_in(duration, Event::BlockComplete(tid));
         Some(tid)
+    }
+
+    /// How long `bytes` take under windowed validation: the slot rate capped
+    /// at `window × block / rtt` (the paper's synchronous-validation cost).
+    fn validated_block_duration(
+        validation: &WindowedExchange,
+        bytes: u64,
+        rtt_secs: f64,
+        slot_bytes_per_sec: f64,
+    ) -> SimDuration {
+        let rate = validation.effective_rate(rtt_secs, slot_bytes_per_sec);
+        SimDuration::from_secs_f64(bytes as f64 / rate)
+    }
+
+    /// The duration of the next `bytes` of `transfer`, honouring any active
+    /// validation window.
+    fn block_duration_of(&self, transfer: &ActiveTransfer, bytes: u64) -> SimDuration {
+        match &transfer.validation {
+            Some(v) => Self::validated_block_duration(
+                v,
+                bytes,
+                self.config.rtt_s,
+                transfer.session.rate_bytes_per_sec(),
+            ),
+            None => transfer.session.block_duration(bytes),
+        }
     }
 
     pub(super) fn remaining_bytes(&self, downloader: PeerId, object: ObjectId) -> u64 {
@@ -105,13 +155,20 @@ impl Simulation {
             return; // the session ended before this block event fired
         };
         let size = self.catalog.size_bytes(transfer.object);
-        let remaining_before = self.remaining_bytes(transfer.downloader, transfer.object);
-        let block = transfer
-            .session
-            .next_block_bytes(remaining_before)
-            .min(remaining_before);
+        let junk = !self.behavior(transfer.uploader).block_validity();
+        let block = if junk {
+            // Junk streams track their own progress towards a fake full copy.
+            let streamed = transfer.session.bytes_transferred();
+            transfer
+                .session
+                .next_block_bytes(size.saturating_sub(streamed).max(1))
+        } else {
+            let remaining = self.remaining_bytes(transfer.downloader, transfer.object);
+            transfer.session.next_block_bytes(remaining).min(remaining)
+        };
 
-        // Account the block.
+        // Account the block.  Junk and relayed bytes count like any others —
+        // that is exactly how the cheats farm credit and priority.
         if let Some(t) = self.transfers.get_mut(&tid) {
             t.session.record_block(block);
         }
@@ -119,6 +176,26 @@ impl Simulation {
         self.peer_mut(transfer.uploader).uploaded_bytes += block;
         self.scheduler
             .on_transfer_complete(transfer.uploader, transfer.downloader, block);
+
+        if junk {
+            self.handle_junk_block(tid, &transfer, block, size);
+            return;
+        }
+
+        // Valid data.  Under the mediator a relaying middleman still receives
+        // the stream, but the decryption key is only ever released to the
+        // peer the true origin named — never the middleman — so everything
+        // it downloads stays ciphertext.
+        let ciphertext = self.ciphertext_downloader(transfer.downloader);
+        if ciphertext {
+            self.peer_mut(transfer.downloader).ciphertext_bytes += block;
+        }
+        if let Some(t) = self.transfers.get_mut(&tid) {
+            if let Some(v) = &mut t.validation {
+                v.on_round_validated();
+            }
+        }
+
         let complete = {
             let want = self
                 .peer_mut(transfer.downloader)
@@ -137,22 +214,84 @@ impl Simulation {
             self.complete_download(transfer.downloader, transfer.object);
             return;
         }
-        // The uploader may have evicted the object mid-transfer despite
-        // pinning (defensive; should not happen with pinning enabled).
-        if !self
-            .peer(transfer.uploader)
-            .storage
-            .contains(transfer.object)
-        {
+        // The uploader may no longer claim the object (an honest holder
+        // evicted it mid-transfer, or a middleman's last backing request was
+        // withdrawn).
+        if !self.claims(transfer.uploader, transfer.object) {
             self.end_transfer(tid, SessionEnd::SourceLostObject);
             return;
         }
         let remaining = self.remaining_bytes(transfer.downloader, transfer.object);
-        let next_block = transfer.session.next_block_bytes(remaining);
-        self.engine.schedule_in(
-            transfer.session.block_duration(next_block),
-            Event::BlockComplete(tid),
-        );
+        let duration = {
+            let t = self
+                .transfers
+                .get(&tid)
+                .expect("transfer is still registered");
+            let next_block = t.session.next_block_bytes(remaining);
+            self.block_duration_of(t, next_block)
+        };
+        self.engine.schedule_in(duration, Event::BlockComplete(tid));
+    }
+
+    /// One junk block arrived: decide whether the active countermeasure (or
+    /// the victim's end-of-object checksum) catches the cheat now, and keep
+    /// the garbage stream going otherwise.  Junk never advances the want.
+    fn handle_junk_block(
+        &mut self,
+        tid: TransferId,
+        transfer: &ActiveTransfer,
+        block: u64,
+        size: u64,
+    ) {
+        self.peer_mut(transfer.downloader).junk_bytes += block;
+        let streamed = self
+            .transfers
+            .get(&tid)
+            .map_or(block, |t| t.session.bytes_transferred());
+        let detected = match self.config.protection {
+            // Unprotected, the victim only discovers the garbage after
+            // assembling (and checksumming) a full object's worth of bytes.
+            Protection::None => streamed >= size,
+            // Synchronous validation checks every exchange block before the
+            // next is sent; the mediator samples blocks before releasing
+            // keys.  Either way the first junk block of an exchange is
+            // caught.  Non-exchange junk still takes a full object to spot.
+            Protection::Windowed { .. } | Protection::Mediated => {
+                transfer.kind.is_exchange() || streamed >= size
+            }
+        };
+        if detected {
+            if let Some(t) = self.transfers.get_mut(&tid) {
+                if let Some(v) = &mut t.validation {
+                    v.on_invalid_block();
+                }
+            }
+            if self.measuring() {
+                self.report
+                    .record_cheat_detection(self.behavior(transfer.uploader).kind());
+            }
+            self.end_transfer(tid, SessionEnd::CheatDetected);
+            return;
+        }
+        let duration = {
+            let t = self
+                .transfers
+                .get(&tid)
+                .expect("transfer is still registered");
+            let next_block = t
+                .session
+                .next_block_bytes(size.saturating_sub(streamed).max(1));
+            self.block_duration_of(t, next_block)
+        };
+        self.engine.schedule_in(duration, Event::BlockComplete(tid));
+    }
+
+    /// Whether everything `downloader` receives stays undecryptable under
+    /// the active protection (the mediator's key-release never names a
+    /// relaying middleman).
+    fn ciphertext_downloader(&self, downloader: PeerId) -> bool {
+        self.config.protection == Protection::Mediated
+            && self.behavior(downloader).kind() == BehaviorKind::Middleman
     }
 
     /// Handles the completion of a whole object at `downloader`.
@@ -162,18 +301,28 @@ impl Simulation {
             return;
         };
         let minutes = now.saturating_since(want.issued_at).as_minutes_f64();
+        let ciphertext = self.ciphertext_downloader(downloader);
         let class = self.peer(downloader).class();
+        let behavior = self.peer(downloader).behavior;
         if self.measuring() {
-            self.report.record_download(class, minutes);
+            if ciphertext {
+                self.report.record_ciphertext_download(behavior);
+            } else {
+                self.report.record_download(class, behavior, minutes);
+            }
         }
 
         // Withdraw every outstanding request for this object.
         self.graph.remove_object_requests(downloader, object);
-        // The object enters the downloader's store (it may be evicted later by
-        // the periodic maintenance pass).  The downloader can now close rings
-        // it could not before, so any cached search that probed it is stale.
-        self.peer_mut(downloader).storage.insert(object);
-        self.ring_cache.invalidate_peer(downloader);
+        if !ciphertext {
+            // The object enters the downloader's store (it may be evicted
+            // later by the periodic maintenance pass).  The downloader can
+            // now close rings it could not before, so any cached search that
+            // probed it is stale.  Ciphertext never enters storage: the
+            // downloader holds bytes it cannot decrypt, let alone re-serve.
+            self.peer_mut(downloader).storage.insert(object);
+            self.ring_cache.invalidate_peer(downloader);
+        }
 
         // Terminate every session that was delivering this object.
         let sessions: Vec<TransferId> = self
@@ -220,7 +369,7 @@ impl Simulation {
         // they would otherwise swamp the per-session distributions.
         if self.measuring() && transfer.session.bytes_transferred() > 0 {
             self.report
-                .record_session(transfer.kind, transfer.session.bytes_transferred());
+                .record_session(transfer.kind, transfer.session.bytes_transferred(), reason);
         }
 
         // An exchange ring dissolves as soon as any of its sessions ends.

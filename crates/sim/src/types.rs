@@ -70,7 +70,7 @@ impl fmt::Display for SessionKind {
 }
 
 /// Why a transfer session ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SessionEnd {
     /// The downloader finished assembling the whole object.
     DownloadComplete,
@@ -82,8 +82,34 @@ pub enum SessionEnd {
     Preempted,
     /// The uploader no longer stores the object.
     SourceLostObject,
+    /// The downloader (or the active [`crate::Protection`] countermeasure)
+    /// caught the uploader serving junk blocks and tore the session down.
+    /// Counted separately from [`SessionEnd::RingDissolved`] so junk-block
+    /// terminations are distinguishable in per-session statistics.
+    CheatDetected,
     /// The run's horizon was reached while the session was still active.
     HorizonReached,
+}
+
+impl SessionEnd {
+    /// The label used in per-session breakdowns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionEnd::DownloadComplete => "download-complete",
+            SessionEnd::RingDissolved => "ring-dissolved",
+            SessionEnd::Preempted => "preempted",
+            SessionEnd::SourceLostObject => "source-lost-object",
+            SessionEnd::CheatDetected => "cheat-detected",
+            SessionEnd::HorizonReached => "horizon-reached",
+        }
+    }
+}
+
+impl fmt::Display for SessionEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +135,24 @@ mod tests {
     fn exchange_predicate() {
         assert!(!SessionKind::NonExchange.is_exchange());
         assert!(SessionKind::Exchange { ring_size: 2 }.is_exchange());
+    }
+
+    #[test]
+    fn session_end_labels_are_distinct() {
+        let ends = [
+            SessionEnd::DownloadComplete,
+            SessionEnd::RingDissolved,
+            SessionEnd::Preempted,
+            SessionEnd::SourceLostObject,
+            SessionEnd::CheatDetected,
+            SessionEnd::HorizonReached,
+        ];
+        let mut labels: Vec<&str> = ends.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ends.len());
+        assert_eq!(SessionEnd::CheatDetected.to_string(), "cheat-detected");
+        assert!(SessionEnd::RingDissolved < SessionEnd::CheatDetected);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! End-to-end tests of the behavior-mix API: the Section III-B adversaries
+//! against the selectable countermeasures, determinism across mixes, and
+//! ring-cache equivalence under every behavior.
+
+use p2p_exchange::exchange::ExchangePolicy;
+use p2p_exchange::sim::{
+    BehaviorKind, BehaviorMix, Protection, SchedulerKind, SessionEnd, SimConfig, SimReport,
+    Simulation,
+};
+
+/// A loaded system with every strategic population present, under exchange
+/// priority (the setting Section III-B attacks).
+fn adversarial_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 40;
+    config.sim_duration_s = 6_000.0;
+    config.discipline = ExchangePolicy::two_five_way();
+    config.scheduler = SchedulerKind::ExchangePriority;
+    config.behaviors = BehaviorMix::weighted([
+        (BehaviorKind::Honest, 0.5),
+        (BehaviorKind::FreeRider, 0.15),
+        (BehaviorKind::JunkSender, 0.1),
+        (BehaviorKind::ParticipationCheater, 0.1),
+        (BehaviorKind::Middleman, 0.15),
+    ]);
+    config
+}
+
+fn run_with(protection: Protection, seed: u64) -> SimReport {
+    let mut config = adversarial_config();
+    config.protection = protection;
+    Simulation::new(config, seed).run()
+}
+
+fn usable_mb(report: &SimReport, kind: BehaviorKind) -> f64 {
+    report.mean_usable_mb_per_peer(kind).unwrap_or(0.0)
+}
+
+#[test]
+fn unprotected_cheaters_out_gain_honest_freeriders() {
+    // Section III-B, no countermeasures: both active attacks grant priority
+    // service the passive free-rider never gets.
+    let report = run_with(Protection::None, 11);
+    let freerider = usable_mb(&report, BehaviorKind::FreeRider);
+    let middleman = usable_mb(&report, BehaviorKind::Middleman);
+    let junk = usable_mb(&report, BehaviorKind::JunkSender);
+    assert!(
+        freerider > 0.0,
+        "free-riders still get low-priority service"
+    );
+    assert!(
+        middleman > freerider * 1.5,
+        "relaying must buy the middleman priority well above a passive \
+         free-rider (middleman {middleman:.1} MB/peer, free-rider {freerider:.1} MB/peer)"
+    );
+    assert!(
+        junk > freerider,
+        "junk uploads must buy exchange priority above a passive free-rider \
+         (junk {junk:.1} MB/peer, free-rider {freerider:.1} MB/peer)"
+    );
+    // The junk sender spends no real content: its uploads are garbage, yet
+    // substantial — that is the attack.
+    let junk_stats = report.behavior_stats(BehaviorKind::JunkSender).unwrap();
+    assert!(junk_stats.uploaded_bytes > 0);
+    // Victims received that garbage.
+    let honest_stats = report.behavior_stats(BehaviorKind::Honest).unwrap();
+    assert!(honest_stats.junk_bytes > 0, "honest peers ate junk blocks");
+}
+
+#[test]
+fn mediation_strips_the_middleman_to_ciphertext() {
+    // The acceptance bar of the issue: with Protection::None the attack
+    // gains bytes; with Protection::Mediated the middleman's usable bytes
+    // drop to exactly zero — everything it receives stays encrypted for
+    // peers the true origins named.
+    let unprotected = run_with(Protection::None, 11);
+    assert!(usable_mb(&unprotected, BehaviorKind::Middleman) > 0.0);
+
+    let mediated = run_with(Protection::Mediated, 11);
+    let stats = mediated.behavior_stats(BehaviorKind::Middleman).unwrap();
+    assert_eq!(
+        stats.usable_bytes(),
+        0,
+        "a mediated middleman can never decrypt what it relays"
+    );
+    assert!(
+        stats.ciphertext_bytes > 0,
+        "the middleman still hauls (useless) encrypted bytes"
+    );
+    assert!(stats.ciphertext_downloads > 0);
+    assert_eq!(
+        stats.completed_downloads, 0,
+        "no usable completion is credited to a mediated middleman"
+    );
+    // Honest peers are unaffected by the mediator.
+    assert!(usable_mb(&mediated, BehaviorKind::Honest) > 0.0);
+}
+
+#[test]
+fn windowed_validation_catches_junk_early() {
+    // Unprotected, junk is only spotted after a full object's worth of
+    // garbage; the synchronous window catches the first junk block of every
+    // exchange, so detections multiply and the junk sender's edge collapses.
+    let unprotected = run_with(Protection::None, 11);
+    let windowed = run_with(Protection::Windowed { max_window: 8 }, 11);
+
+    assert!(windowed.cheat_detections() > unprotected.cheat_detections() * 5);
+    assert!(
+        windowed.session_end_counts()[&SessionEnd::CheatDetected] > 0,
+        "junk terminations are counted under their own SessionEnd variant"
+    );
+    let junk_unprotected = usable_mb(&unprotected, BehaviorKind::JunkSender);
+    let junk_windowed = usable_mb(&windowed, BehaviorKind::JunkSender);
+    assert!(
+        junk_windowed < junk_unprotected,
+        "validation must cut the junk sender's gain \
+         ({junk_windowed:.1} vs {junk_unprotected:.1} MB/peer)"
+    );
+    // And the bounded-exposure claim: caught junk sessions carried at most
+    // the validation window's worth of bytes each, so the per-detection junk
+    // haul under the window is far below the unprotected full-object rate.
+    let junk_bytes_per_detection = |r: &SimReport| {
+        let junk: u64 = r
+            .behavior_breakdown()
+            .values()
+            .map(|s| s.junk_bytes)
+            .sum::<u64>();
+        junk as f64 / r.cheat_detections().max(1) as f64
+    };
+    assert!(junk_bytes_per_detection(&windowed) < junk_bytes_per_detection(&unprotected) / 10.0);
+}
+
+#[test]
+fn participation_cheater_jumps_kazaa_queues() {
+    // The inflated self-report only pays off under the participation-level
+    // scheduler — and there it beats the honest free-rider soundly.
+    let mut config = adversarial_config();
+    config.discipline = ExchangePolicy::NoExchange;
+    config.scheduler = SchedulerKind::ParticipationLevel;
+    let report = Simulation::new(config, 13).run();
+    let cheater = usable_mb(&report, BehaviorKind::ParticipationCheater);
+    let freerider = usable_mb(&report, BehaviorKind::FreeRider);
+    assert!(
+        cheater > freerider,
+        "an inflated participation report must buy priority \
+         (cheater {cheater:.1} MB/peer, free-rider {freerider:.1} MB/peer)"
+    );
+}
+
+#[test]
+fn reports_are_deterministic_across_behavior_mixes() {
+    for protection in Protection::all_basic() {
+        let a = run_with(protection, 21);
+        let b = run_with(protection, 21);
+        assert_eq!(a.completed_downloads(), b.completed_downloads());
+        assert_eq!(a.total_sessions(), b.total_sessions());
+        assert_eq!(a.total_rings(), b.total_rings());
+        assert_eq!(a.cheat_detections(), b.cheat_detections());
+        assert_eq!(a.session_end_counts(), b.session_end_counts());
+        assert_eq!(a.behavior_breakdown(), b.behavior_breakdown());
+    }
+}
+
+#[test]
+fn ring_cache_equivalence_holds_under_every_behavior_mix() {
+    // The incremental ring-search cache must stay exact when middlemen
+    // advertise beyond their storage and junk sessions dissolve rings.
+    for protection in [
+        Protection::None,
+        Protection::Windowed { max_window: 4 },
+        Protection::Mediated,
+    ] {
+        let mut cached = adversarial_config();
+        cached.protection = protection;
+        cached.sim_duration_s = 3_000.0;
+        let mut fresh = cached.clone();
+        fresh.ring_candidate_cache = false;
+
+        let cached_report = Simulation::new(cached, 31).run();
+        let fresh_report = Simulation::new(fresh, 31).run();
+        assert_eq!(
+            cached_report.completed_downloads(),
+            fresh_report.completed_downloads(),
+            "protection {}",
+            protection.label()
+        );
+        assert_eq!(
+            cached_report.total_sessions(),
+            fresh_report.total_sessions()
+        );
+        assert_eq!(cached_report.total_rings(), fresh_report.total_rings());
+        assert_eq!(
+            cached_report.behavior_breakdown(),
+            fresh_report.behavior_breakdown()
+        );
+        assert_eq!(
+            cached_report.session_end_counts(),
+            fresh_report.session_end_counts()
+        );
+        assert!(cached_report.ring_cache_stats().hits > 0);
+        assert_eq!(fresh_report.ring_cache_stats().hits, 0);
+    }
+}
+
+#[test]
+fn every_behavior_mix_remains_schedulable_under_every_scheduler() {
+    // Smoke coverage of the full scheduler × adversarial-mix product: the
+    // run must complete downloads and stay internally consistent.
+    for kind in SchedulerKind::all() {
+        let mut config = adversarial_config();
+        config.sim_duration_s = 2_000.0;
+        config.scheduler = kind;
+        let report = Simulation::new(config, 5).run();
+        assert!(
+            report.completed_downloads() > 0,
+            "downloads complete under {}",
+            kind.label()
+        );
+        assert_eq!(
+            report.total_sessions(),
+            report.session_counts().values().sum::<u64>()
+        );
+        let behavior_downloads: u64 = report
+            .behavior_breakdown()
+            .values()
+            .map(|s| s.completed_downloads)
+            .sum();
+        assert_eq!(behavior_downloads, report.completed_downloads());
+    }
+}
+
+#[test]
+fn windowed_rate_cap_slows_exchanges_when_rtt_dominates() {
+    // The countermeasure's cost side: with a pathological RTT, synchronous
+    // validation throttles exchange sessions, so honest throughput drops
+    // versus the unprotected run.
+    let mut slow = adversarial_config();
+    slow.behaviors = BehaviorMix::with_freeriders(0.25);
+    slow.sim_duration_s = 3_000.0;
+    slow.protection = Protection::Windowed { max_window: 1 };
+    slow.rtt_s = 200.0; // seconds per validated block round-trip
+    let mut free = slow.clone();
+    free.protection = Protection::None;
+
+    let slow_report = Simulation::new(slow, 17).run();
+    let free_report = Simulation::new(free, 17).run();
+    let slow_honest = usable_mb(&slow_report, BehaviorKind::Honest);
+    let free_honest = usable_mb(&free_report, BehaviorKind::Honest);
+    assert!(
+        slow_honest < free_honest,
+        "a huge RTT under a 1-block window must throttle honest exchanges \
+         ({slow_honest:.1} vs {free_honest:.1} MB/peer)"
+    );
+}

@@ -143,7 +143,7 @@ fn runs_are_deterministic_across_identical_configs() {
 #[test]
 fn all_sharing_population_still_functions() {
     let mut config = loaded_config();
-    config.freerider_fraction = 0.0;
+    config.behaviors = p2p_exchange::sim::BehaviorMix::honest();
     config.discipline = ExchangePolicy::two_five_way();
     let report = Simulation::new(config, 9).run();
     assert!(report.completed_downloads() > 0);

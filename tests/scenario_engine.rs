@@ -105,5 +105,8 @@ fn multi_axis_grids_compose_with_custom_axes() {
         .find_point(&[("freerider_fraction", "0.5"), ("preemption", "off")])
         .expect("the cross product contains every combination");
     assert!(!off.config.preemption);
-    assert_eq!(off.config.freerider_fraction, 0.5);
+    assert_eq!(
+        off.config.behaviors,
+        p2p_exchange::sim::BehaviorMix::with_freeriders(0.5)
+    );
 }

@@ -78,7 +78,7 @@ fn report_distributions_are_consistent_with_counters() {
 fn per_peer_volume_accounts_for_every_class_present() {
     let mut config = SimConfig::quick_test();
     config.num_peers = 30;
-    config.freerider_fraction = 0.5;
+    config.behaviors = p2p_exchange::sim::BehaviorMix::with_freeriders(0.5);
     let report = Simulation::new(config, 4).run();
     // Volumes are recorded for every peer at the end of the run, so both
     // classes must be present (even if some peers downloaded nothing).
