@@ -1,0 +1,426 @@
+//! Scale tier of the `end_to_end` benchmark: whole simulation runs at
+//! 1k / 5k / 10k peers, with per-phase wall-clock timings and two speedup
+//! figures per tier.
+//!
+//! Each tier runs the same seeded workload twice:
+//!
+//! * **provider-cold** — ring-cache invalidation at provider granularity
+//!   and a cold `Simulation::new` per seed;
+//! * **entry-warm** — entry-level invalidation plus a shared [`SimSetup`]
+//!   across seeds (warm restarts).
+//!
+//! `speedup` compares the two (isolating what cache granularity + warm
+//! restarts buy within this engine); `speedup_vs_pr3` compares `entry-warm`
+//! against an externally measured run of the PR-3 engine
+//! (provider-granularity cache, O(peers) provider lookups, no search
+//! scratch) on the identical workload and seed, passed in via
+//! `--baseline <tier>=<secs>`.
+//!
+//! The first seed's reports must be identical between the modes (both cache
+//! granularities are exact memoisations and the warm setup seed equals the
+//! first run seed) — the bench asserts this, so the headline speedup can
+//! never come from computing something different.
+//!
+//! Usage (a bare `cargo bench` only smoke-compiles; the tiers are explicit):
+//!
+//! ```text
+//! cargo bench --bench scale -- --tier 1k                 # CI smoke tier
+//! cargo bench --bench scale -- --tier full --out BENCH_scale.json
+//! cargo bench --bench scale -- --tier 10k --seeds 3
+//! ```
+//!
+//! `--object-mb <n>` (default 1) and `--duration <secs>` (default 1800)
+//! reshape the workload — the defaults reach the steady churn state, with
+//! downloads completing and storage evicting continuously; `--budget` /
+//! `--fanout` (defaults 512 / 8) bound the ring search the way a
+//! production deployment at this scale must, keeping per-search cost and
+//! cached-search dependency footprints population-independent.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sim::{CacheGranularity, PhaseProfile, SimConfig, SimReport, SimSetup, Simulation};
+
+/// One measured run: its report plus every timing component.
+struct RunMeasurement {
+    seed: u64,
+    setup: Duration,
+    run: Duration,
+    profile: PhaseProfile,
+    report: SimReport,
+}
+
+/// One mode (cache granularity × restart strategy) over all seeds.
+struct ModeMeasurement {
+    name: &'static str,
+    runs: Vec<RunMeasurement>,
+}
+
+impl ModeMeasurement {
+    fn wall(&self) -> Duration {
+        self.runs.iter().map(|r| r.setup + r.run).sum()
+    }
+}
+
+struct TierMeasurement {
+    label: &'static str,
+    peers: usize,
+    config: SimConfig,
+    modes: Vec<ModeMeasurement>,
+    /// Externally measured wall clock of the PR-3 engine (provider-granularity
+    /// cache, O(peers) lookups, no search scratch) on the identical workload
+    /// and seed, passed in via `--baseline <tier>=<secs>`.
+    baseline_pr3_s: Option<f64>,
+}
+
+impl TierMeasurement {
+    fn speedup(&self) -> f64 {
+        let baseline = self.modes[0].wall().as_secs_f64();
+        let improved = self.modes[1].wall().as_secs_f64();
+        if improved > 0.0 {
+            baseline / improved
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Speedup of the entry-warm engine's first run over the PR-3 engine.
+    fn speedup_vs_pr3(&self) -> Option<f64> {
+        let first = &self.modes[1].runs[0];
+        let mine = (first.setup + first.run).as_secs_f64();
+        self.baseline_pr3_s.filter(|_| mine > 0.0).map(|b| b / mine)
+    }
+}
+
+/// Tunable workload shape of a tier (defaults live in `main`).
+#[derive(Debug, Clone, Copy)]
+struct TierOptions {
+    object_mb: u64,
+    duration_s: f64,
+    budget: usize,
+    fanout: usize,
+}
+
+/// The simulated system at `peers` peers: Table II parameters with a horizon
+/// short enough to benchmark, objects sized so the system reaches its steady
+/// churn state (downloads complete, storage evicts) within it, and the ring
+/// search bounded the way a production deployment at this scale must bound
+/// it — a tight expansion budget and fanout keep the per-search cost and the
+/// dependency footprint of cached searches independent of the population.
+/// Identical for both modes of a tier.
+fn tier_config(peers: usize, options: TierOptions) -> SimConfig {
+    let mut config = SimConfig::paper_defaults();
+    config.num_peers = peers;
+    config.workload.object_size_bytes = options.object_mb * 1024 * 1024;
+    config.sim_duration_s = options.duration_s;
+    config.warmup_s = options.duration_s / 3.0;
+    config.ring_search_budget = options.budget;
+    config.ring_search_fanout = options.fanout;
+    config
+}
+
+fn run_tier(
+    label: &'static str,
+    peers: usize,
+    seeds: &[u64],
+    options: TierOptions,
+) -> TierMeasurement {
+    let config = tier_config(peers, options);
+    eprintln!("== tier {label}: {peers} peers, {} seeds ==", seeds.len());
+
+    let mut provider_config = config.clone();
+    provider_config.ring_cache_granularity = CacheGranularity::Provider;
+    let provider_cold = ModeMeasurement {
+        name: "provider-cold",
+        runs: seeds
+            .iter()
+            .map(|&seed| {
+                let started = Instant::now();
+                let simulation = Simulation::new(provider_config.clone(), seed);
+                let setup = started.elapsed();
+                let started = Instant::now();
+                let (report, profile) = simulation.run_profiled();
+                let run = started.elapsed();
+                eprintln!(
+                    "   provider-cold seed {seed}: setup {:.2}s run {:.2}s ({} events)",
+                    setup.as_secs_f64(),
+                    run.as_secs_f64(),
+                    profile.events
+                );
+                RunMeasurement {
+                    seed,
+                    setup,
+                    run,
+                    profile,
+                    report,
+                }
+            })
+            .collect(),
+    };
+
+    let mut entry_config = config.clone();
+    entry_config.ring_cache_granularity = CacheGranularity::Entry;
+    let started = Instant::now();
+    let shared_setup = SimSetup::generate(&entry_config, seeds[0]);
+    let shared_setup_time = started.elapsed();
+    let entry_warm = ModeMeasurement {
+        name: "entry-warm",
+        runs: seeds
+            .iter()
+            .enumerate()
+            .map(|(index, &seed)| {
+                // The shared setup is generated once; only the first seed's
+                // row carries its cost.
+                let started = Instant::now();
+                let simulation = Simulation::from_setup(entry_config.clone(), &shared_setup, seed);
+                let mut setup = started.elapsed();
+                if index == 0 {
+                    setup += shared_setup_time;
+                }
+                let started = Instant::now();
+                let (report, profile) = simulation.run_profiled();
+                let run = started.elapsed();
+                eprintln!(
+                    "   entry-warm    seed {seed}: setup {:.2}s run {:.2}s ({} events)",
+                    setup.as_secs_f64(),
+                    run.as_secs_f64(),
+                    profile.events
+                );
+                RunMeasurement {
+                    seed,
+                    setup,
+                    run,
+                    profile,
+                    report,
+                }
+            })
+            .collect(),
+    };
+
+    // Exactness guard: on the shared setup seed both modes simulate the
+    // identical system, so their reports must agree bit for bit.
+    let a = &provider_cold.runs[0].report;
+    let b = &entry_warm.runs[0].report;
+    assert_eq!(
+        (a.completed_downloads(), a.total_sessions(), a.total_rings()),
+        (b.completed_downloads(), b.total_sessions(), b.total_rings()),
+        "tier {label}: the two modes diverged on the shared seed — the cache \
+         or warm restart is no longer exact"
+    );
+
+    let tier = TierMeasurement {
+        label,
+        peers,
+        config,
+        modes: vec![provider_cold, entry_warm],
+        baseline_pr3_s: None,
+    };
+    eprintln!(
+        "   speedup (entry-warm over provider-cold): {:.2}x",
+        tier.speedup()
+    );
+    tier
+}
+
+fn phase_json(profile: &PhaseProfile) -> String {
+    format!(
+        "{{\"events\":{},\"event_loop_s\":{:.3},\"generate_requests_s\":{:.3},\
+         \"scheduling_s\":{:.3},\"ring_search_s\":{:.3},\"ring_searches\":{},\
+         \"transfers_s\":{:.3},\"maintenance_s\":{:.3}}}",
+        profile.events,
+        profile.event_loop.as_secs_f64(),
+        profile.generate_requests.as_secs_f64(),
+        profile.scheduling.as_secs_f64(),
+        profile.ring_search.as_secs_f64(),
+        profile.ring_searches,
+        profile.transfers.as_secs_f64(),
+        profile.maintenance.as_secs_f64(),
+    )
+}
+
+fn to_json(tiers: &[TierMeasurement], seeds: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"bench\":\"scale\",\"seeds\":{seeds},\"tiers\":[");
+    for (t, tier) in tiers.iter().enumerate() {
+        if t > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"tier\":\"{}\",\"peers\":{},\"sim_seconds\":{},\"object_mb\":{},\"modes\":[",
+            tier.label,
+            tier.peers,
+            tier.config.sim_duration_s,
+            tier.config.workload.object_size_bytes / (1024 * 1024),
+        );
+        for (m, mode) in tier.modes.iter().enumerate() {
+            if m > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"mode\":\"{}\",\"wall_s\":{:.3},\"runs\":[",
+                mode.name,
+                mode.wall().as_secs_f64()
+            );
+            for (r, run) in mode.runs.iter().enumerate() {
+                if r > 0 {
+                    out.push(',');
+                }
+                let cache = run.report.ring_cache_stats();
+                let _ = write!(
+                    out,
+                    "{{\"seed\":{},\"setup_s\":{:.3},\"run_s\":{:.3},\"phases\":{},\
+                     \"ring_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},\
+                     \"completed_downloads\":{},\"total_sessions\":{},\"total_rings\":{}}}",
+                    run.seed,
+                    run.setup.as_secs_f64(),
+                    run.run.as_secs_f64(),
+                    phase_json(&run.profile),
+                    cache.hits,
+                    cache.misses,
+                    cache.invalidations,
+                    run.report.completed_downloads(),
+                    run.report.total_sessions(),
+                    run.report.total_rings(),
+                );
+            }
+            let _ = write!(out, "]}}");
+        }
+        let _ = write!(out, "],\"speedup\":{:.3}", tier.speedup());
+        if let (Some(baseline), Some(vs)) = (tier.baseline_pr3_s, tier.speedup_vs_pr3()) {
+            let _ = write!(
+                out,
+                ",\"baseline_pr3_run_s\":{baseline:.3},\"speedup_vs_pr3\":{vs:.3}"
+            );
+        }
+        let _ = write!(out, "}}");
+    }
+    let _ = write!(out, "]}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tier_arg: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut seeds: u64 = 2;
+    let mut options = TierOptions {
+        object_mb: 1,
+        duration_s: 1_800.0,
+        budget: 512,
+        fanout: 8,
+    };
+    let mut baselines: Vec<(String, f64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--tier", Some(v)) => {
+                tier_arg = Some(v.clone());
+                i += 1;
+            }
+            ("--out", Some(v)) => {
+                out = Some(v.clone());
+                i += 1;
+            }
+            ("--seeds", Some(v)) => {
+                if let Ok(n) = v.parse::<u64>() {
+                    if n >= 1 {
+                        seeds = n;
+                    }
+                }
+                i += 1;
+            }
+            ("--object-mb", Some(v)) => {
+                if let Ok(n) = v.parse::<u64>() {
+                    if n >= 1 {
+                        options.object_mb = n;
+                    }
+                }
+                i += 1;
+            }
+            ("--duration", Some(v)) => {
+                if let Ok(s) = v.parse::<f64>() {
+                    if s > 0.0 {
+                        options.duration_s = s;
+                    }
+                }
+                i += 1;
+            }
+            ("--budget", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    if n >= 1 {
+                        options.budget = n;
+                    }
+                }
+                i += 1;
+            }
+            ("--fanout", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    if n >= 1 {
+                        options.fanout = n;
+                    }
+                }
+                i += 1;
+            }
+            ("--baseline", Some(v)) => {
+                if let Some((tier, secs)) = v.split_once('=') {
+                    if let Ok(secs) = secs.parse::<f64>() {
+                        baselines.push((tier.to_string(), secs));
+                    }
+                }
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(tier_arg) = tier_arg else {
+        // `cargo bench` with no arguments (or `--no-run`) must stay cheap:
+        // the tiers run minutes each and are requested explicitly.
+        eprintln!(
+            "scale bench: pass `-- --tier 1k|5k|10k|full [--seeds n] [--out BENCH_scale.json]` \
+             to run a tier; doing nothing."
+        );
+        return;
+    };
+
+    let seed_list: Vec<u64> = (1..=seeds).collect();
+    let selected: Vec<(&'static str, usize)> = match tier_arg.as_str() {
+        "1k" => vec![("1k", 1_000)],
+        "5k" => vec![("5k", 5_000)],
+        "10k" => vec![("10k", 10_000)],
+        "full" => vec![("1k", 1_000), ("5k", 5_000), ("10k", 10_000)],
+        other => {
+            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|full)");
+            std::process::exit(2);
+        }
+    };
+
+    let tiers: Vec<TierMeasurement> = selected
+        .into_iter()
+        .map(|(label, peers)| {
+            let mut tier = run_tier(label, peers, &seed_list, options);
+            tier.baseline_pr3_s = baselines
+                .iter()
+                .find(|(t, _)| t == label)
+                .map(|(_, secs)| *secs);
+            if let Some(vs) = tier.speedup_vs_pr3() {
+                eprintln!("   speedup vs PR-3 engine: {vs:.2}x");
+            }
+            tier
+        })
+        .collect();
+
+    let json = to_json(&tiers, seed_list.len());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("scale bench: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("scale bench: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -27,9 +27,20 @@ pub struct Request<P, O> {
 ///
 /// For incremental consumers (candidate caches keyed on search results), the
 /// graph tracks a monotonically increasing [`generation`](Self::generation)
-/// and a *dirty set* of peers whose incident edges changed since the set was
-/// last [drained](Self::take_dirty).  Equality ignores both: two graphs with
-/// the same edges compare equal regardless of their mutation history.
+/// and a *dirty log* of mutations since it was last drained, in two views:
+///
+/// * the classic peer view ([`take_dirty`](Self::take_dirty)) — every peer
+///   incident to a changed edge, on either side;
+/// * the entry-level edge view ([`take_dirty_edges`](Self::take_dirty_edges))
+///   — `(provider, object)` pairs, one per changed edge.  Only the provider
+///   endpoint is reported: a ring search reads *incoming*-request queues
+///   exclusively, so the requester side of an edge can never affect a cached
+///   search result.
+///
+/// Draining either view clears the whole log (they are two projections of the
+/// same mutations; a consumer picks one).  Equality ignores all bookkeeping:
+/// two graphs with the same edges compare equal regardless of their mutation
+/// history.
 ///
 /// # Example
 ///
@@ -52,8 +63,11 @@ pub struct RequestGraph<P: Key, O: Key> {
     len: usize,
     /// Bumped on every successful mutation.
     generation: u64,
-    /// Peers whose incident edge set changed since the last `take_dirty`.
+    /// Peers whose incident edge set changed since the last drain.
     dirty: BTreeSet<P>,
+    /// `(provider, requester, object)` of every edge changed since the last
+    /// drain.
+    dirty_edges: BTreeSet<(P, P, O)>,
 }
 
 impl<P: Key, O: Key> PartialEq for RequestGraph<P, O> {
@@ -75,6 +89,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
             len: 0,
             generation: 0,
             dirty: BTreeSet::new(),
+            dirty_edges: BTreeSet::new(),
         }
     }
 
@@ -88,25 +103,43 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
         self.generation
     }
 
-    /// Drains and returns the set of peers whose incident edges changed since
-    /// the last call (both endpoints of every added or removed edge).
+    /// Drains the dirty log and returns its peer view: every peer whose
+    /// incident edges changed since the last drain (both endpoints of every
+    /// added or removed edge).
     ///
     /// Incremental consumers call this once per query round and invalidate
     /// whatever they derived from the returned peers' neighbourhoods.
     pub fn take_dirty(&mut self) -> BTreeSet<P> {
+        self.dirty_edges.clear();
         std::mem::take(&mut self.dirty)
     }
 
-    /// Whether any mutation happened since the last [`take_dirty`](Self::take_dirty).
-    #[must_use]
-    pub fn has_dirty(&self) -> bool {
-        !self.dirty.is_empty()
+    /// Drains the dirty log and returns its entry-level edge view: the
+    /// `(provider, requester, object)` triple of every edge changed since
+    /// the last drain, sorted by provider.
+    ///
+    /// The triple leads with the provider endpoint because that is the side
+    /// a ring search reads (incoming request queues); the requester and
+    /// object let consumers decide *where in the provider's queue* the edge
+    /// sat — e.g. whether it falls inside the fanout-bounded prefix a
+    /// depth-limited search actually examined.  Either drain call clears the
+    /// whole log.
+    pub fn take_dirty_edges(&mut self) -> BTreeSet<(P, P, O)> {
+        self.dirty.clear();
+        std::mem::take(&mut self.dirty_edges)
     }
 
-    fn mark_edge_dirty(&mut self, a: P, b: P) {
+    /// Whether any mutation happened since the last drain.
+    #[must_use]
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty() || !self.dirty_edges.is_empty()
+    }
+
+    fn mark_edge_dirty(&mut self, requester: P, provider: P, object: O) {
         self.generation += 1;
-        self.dirty.insert(a);
-        self.dirty.insert(b);
+        self.dirty.insert(requester);
+        self.dirty.insert(provider);
+        self.dirty_edges.insert((provider, requester, object));
     }
 
     /// Number of outstanding requests (edges).
@@ -146,7 +179,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 .or_default()
                 .insert((provider, object));
             self.len += 1;
-            self.mark_edge_dirty(requester, provider);
+            self.mark_edge_dirty(requester, provider, object);
         }
         inserted
     }
@@ -162,7 +195,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 out.remove(&(provider, object));
             }
             self.len -= 1;
-            self.mark_edge_dirty(requester, provider);
+            self.mark_edge_dirty(requester, provider, object);
         }
         removed
     }
@@ -188,7 +221,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
         }
         self.len -= targets.len();
         for provider in &targets {
-            self.mark_edge_dirty(requester, *provider);
+            self.mark_edge_dirty(requester, *provider, object);
         }
         targets.len()
     }
@@ -202,7 +235,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 if let Some(out) = self.outgoing.get_mut(&requester) {
                     out.remove(&(peer, object));
                 }
-                self.mark_edge_dirty(requester, peer);
+                self.mark_edge_dirty(requester, peer, object);
                 removed += 1;
             }
         }
@@ -211,7 +244,7 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
                 if let Some(inc) = self.incoming.get_mut(&provider) {
                     inc.remove(&(peer, object));
                 }
-                self.mark_edge_dirty(peer, provider);
+                self.mark_edge_dirty(peer, provider, object);
                 removed += 1;
             }
         }
@@ -414,6 +447,49 @@ mod tests {
         g.take_dirty();
         g.remove_peer(2);
         assert_eq!(g.take_dirty(), BTreeSet::from([2, 3, 4]));
+    }
+
+    #[test]
+    fn dirty_edges_report_provider_requester_and_object() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100);
+        g.add_request(3, 2, 101);
+        g.add_request(1, 4, 100);
+        assert_eq!(
+            g.take_dirty_edges(),
+            BTreeSet::from([(2, 1, 100), (2, 3, 101), (4, 1, 100)])
+        );
+        assert!(!g.has_dirty());
+        g.remove_request(1, 2, 100);
+        assert_eq!(g.take_dirty_edges(), BTreeSet::from([(2, 1, 100)]));
+        g.remove_object_requests(3, 101);
+        assert_eq!(g.take_dirty_edges(), BTreeSet::from([(2, 3, 101)]));
+    }
+
+    #[test]
+    fn draining_either_dirty_view_clears_the_whole_log() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100);
+        assert!(g.has_dirty());
+        let _ = g.take_dirty();
+        assert!(g.take_dirty_edges().is_empty(), "peer drain clears edges");
+        g.add_request(3, 2, 101);
+        let _ = g.take_dirty_edges();
+        assert!(g.take_dirty().is_empty(), "edge drain clears peers");
+        assert!(!g.has_dirty());
+    }
+
+    #[test]
+    fn remove_peer_marks_dirty_edges_on_both_sides() {
+        let mut g: RequestGraph<u32, u32> = RequestGraph::new();
+        g.add_request(1, 2, 100); // 2 is provider
+        g.add_request(2, 3, 200); // 2 is requester
+        g.take_dirty_edges();
+        g.remove_peer(2);
+        assert_eq!(
+            g.take_dirty_edges(),
+            BTreeSet::from([(2, 1, 100), (3, 2, 200)])
+        );
     }
 
     #[test]

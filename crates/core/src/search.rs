@@ -1,7 +1,7 @@
 //! Ring search: discovering feasible n-way exchanges through a provider.
 
 use std::cmp::Reverse;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::{ExchangeRing, Key, RequestGraph, RingEdge, RingPreference, SearchPolicy};
 
@@ -18,6 +18,156 @@ pub struct SearchTrace<P: Key, O: Key> {
     /// peers *outside* this set cannot alter the result — `deps` is the
     /// invalidation footprint a candidate cache must watch.
     pub deps: Vec<P>,
+    /// The subset of [`deps`](Self::deps) whose *incoming-request queues* the
+    /// search actually read: the root (its queue seeds the BFS) plus every
+    /// frontier peer that was expanded below the depth bound.  An edge
+    /// added or removed at a provider outside this set cannot change which
+    /// paths the search enumerates — together with the per-object `provides`
+    /// probes recorded in `deps`, this is the footprint entry-level cache
+    /// invalidation watches.  Sorted and deduplicated.
+    pub edge_deps: Vec<P>,
+}
+
+/// Reusable scratch state shared across ring searches.
+///
+/// Holds the BFS working buffers (path arena, materialisation buffer, ring
+/// dedup set) and an *expansion-prefix snapshot*: for every peer expanded
+/// below the first level, the first `fanout` entries of its incoming queue —
+/// exactly the slice the depth-bounded search reads.  Consecutive searches —
+/// typically one per provider within a scheduling round — neither reallocate
+/// their working memory nor re-walk the queue prefix of a peer an earlier
+/// provider's search already expanded: overlapping request trees share their
+/// expansion prefixes through the snapshot.  (The root's own queue is always
+/// scanned in full, directly from the graph — it is read once per search, so
+/// there is nothing to share.)
+///
+/// The snapshot is keyed on [`RequestGraph::generation`] and discarded
+/// wholesale as soon as the graph mutates, so a scratch-backed search is
+/// always bit-identical to a fresh [`RingSearch::find_traced`].  A caller
+/// that forwards the graph's [dirty-edge
+/// log](crate::RequestGraph::take_dirty_edges) can do better and
+/// [`advance`](Self::advance) the snapshot across mutations, forgetting only
+/// the queues that changed.
+#[derive(Debug)]
+pub struct SearchScratch<P: Key, O: Key> {
+    /// Graph generation the snapshot was taken at.
+    generation: Option<u64>,
+    /// The fanout the interior prefixes were materialised at; a search with
+    /// a larger fanout resets the snapshot.
+    fanout: usize,
+    /// Full incoming queues of peers that served as search *roots* (their
+    /// queue is always scanned whole).
+    roots: HashMap<P, Vec<(P, O)>>,
+    /// Capped queue prefixes of peers expanded below the first level.
+    adjacency: HashMap<P, Vec<(P, O)>>,
+    /// (peer, object requested of its parent, parent index, depth).
+    arena: Vec<(P, O, usize, usize)>,
+    path: Vec<(P, O)>,
+    seen: HashSet<Vec<RingEdge<P, O>>>,
+    edge_deps: Vec<P>,
+}
+
+impl<P: Key, O: Key> SearchScratch<P, O> {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchScratch {
+            generation: None,
+            fanout: 0,
+            roots: HashMap::new(),
+            adjacency: HashMap::new(),
+            arena: Vec::new(),
+            path: Vec::new(),
+            seen: HashSet::new(),
+            edge_deps: Vec::new(),
+        }
+    }
+
+    /// Number of peers the current snapshot holds queues for (diagnostic;
+    /// the snapshot resets when the graph mutates, unless the caller
+    /// [`advance`](Self::advance)s it).
+    #[must_use]
+    pub fn snapshot_len(&self) -> usize {
+        self.adjacency.len() + self.roots.len()
+    }
+
+    /// Advances the snapshot from `from_generation` to `to_generation`,
+    /// forgetting only the snapshots of `changed_providers` — the peers whose
+    /// incoming queues changed in between.  Each provider comes with a flag
+    /// saying whether the change reached the fanout-bounded *prefix* of its
+    /// queue: the full root snapshot is forgotten either way, but the capped
+    /// interior prefix survives a change beyond it.
+    ///
+    /// This is the incremental alternative to the wholesale reset a search
+    /// performs on a generation mismatch: a caller that drains the graph's
+    /// [dirty-edge log](crate::RequestGraph::take_dirty_edges) knows exactly
+    /// which queues changed and can keep every other peer's snapshot warm
+    /// across mutations.  Soundness is guarded by the generation pair: if the
+    /// scratch is not exactly at `from_generation` (some mutations were never
+    /// reported to it), the whole snapshot is dropped instead.
+    ///
+    /// **Contract:** the `prefix_changed` flags must be computed at (or
+    /// below) the fanout the scratch's prefixes were materialised with.  A
+    /// scratch only ever serves searches of one fanout per generation epoch
+    /// (a larger fanout resets it), so computing the flags at the fanout the
+    /// searches run with — as the simulation's drain does — is always sound;
+    /// mixing fanouts across one scratch while advancing it is not.
+    pub fn advance(
+        &mut self,
+        from_generation: u64,
+        to_generation: u64,
+        changed_providers: impl IntoIterator<Item = (P, bool)>,
+    ) {
+        if self.generation == Some(from_generation) {
+            for (provider, prefix_changed) in changed_providers {
+                self.roots.remove(&provider);
+                if prefix_changed {
+                    self.adjacency.remove(&provider);
+                }
+            }
+        } else {
+            self.adjacency.clear();
+            self.roots.clear();
+        }
+        self.generation = Some(to_generation);
+    }
+
+    /// Materialises (or reuses) the full incoming queue of a search root.
+    fn full<'a>(
+        roots: &'a mut HashMap<P, Vec<(P, O)>>,
+        graph: &RequestGraph<P, O>,
+        peer: P,
+    ) -> &'a [(P, O)] {
+        roots.entry(peer).or_insert_with(|| {
+            graph
+                .incoming(peer)
+                .map(|r| (r.requester, r.object))
+                .collect()
+        })
+    }
+
+    /// Materialises (or reuses) the first `fanout` incoming-queue entries of
+    /// `peer`.
+    fn prefix<'a>(
+        adjacency: &'a mut HashMap<P, Vec<(P, O)>>,
+        graph: &RequestGraph<P, O>,
+        peer: P,
+        fanout: usize,
+    ) -> &'a [(P, O)] {
+        adjacency.entry(peer).or_insert_with(|| {
+            graph
+                .incoming(peer)
+                .take(fanout)
+                .map(|r| (r.requester, r.object))
+                .collect()
+        })
+    }
+}
+
+impl<P: Key, O: Key> Default for SearchScratch<P, O> {
+    fn default() -> Self {
+        SearchScratch::new()
+    }
 }
 
 /// A configurable ring search.
@@ -110,7 +260,15 @@ impl RingSearch {
     where
         F: Fn(&P, &O) -> bool,
     {
-        self.search(graph, root, wants, provides, false).rings
+        self.search(
+            &mut SearchScratch::new(),
+            graph,
+            root,
+            wants,
+            provides,
+            false,
+        )
+        .rings
     }
 
     /// Like [`find`](Self::find), but also reports the set of peers the
@@ -126,14 +284,40 @@ impl RingSearch {
     where
         F: Fn(&P, &O) -> bool,
     {
-        self.search(graph, root, wants, provides, true)
+        self.search(
+            &mut SearchScratch::new(),
+            graph,
+            root,
+            wants,
+            provides,
+            true,
+        )
     }
 
-    /// Shared search body.  The dependency set is only assembled when
+    /// Like [`find_traced`](Self::find_traced), but runs inside a caller-owned
+    /// [`SearchScratch`], sharing buffers and the per-generation adjacency
+    /// snapshot with the other searches of the same round.  The result is
+    /// identical to a fresh search.
+    pub fn find_traced_in<P: Key, O: Key, F>(
+        &self,
+        scratch: &mut SearchScratch<P, O>,
+        graph: &RequestGraph<P, O>,
+        root: P,
+        wants: &[O],
+        provides: F,
+    ) -> SearchTrace<P, O>
+    where
+        F: Fn(&P, &O) -> bool,
+    {
+        self.search(scratch, graph, root, wants, provides, true)
+    }
+
+    /// Shared search body.  The dependency sets are only assembled when
     /// `trace_deps` is set — plain [`find`](Self::find) callers skip that
-    /// cost entirely (`deps` comes back empty).
+    /// cost entirely (`deps`/`edge_deps` come back empty).
     fn search<P: Key, O: Key, F>(
         &self,
+        scratch: &mut SearchScratch<P, O>,
         graph: &RequestGraph<P, O>,
         root: P,
         wants: &[O],
@@ -145,11 +329,35 @@ impl RingSearch {
     {
         let mut found: Vec<(usize, ExchangeRing<P, O>)> = Vec::new();
         if wants.is_empty() {
+            let deps = if trace_deps { vec![root] } else { Vec::new() };
             return SearchTrace {
                 rings: Vec::new(),
-                deps: if trace_deps { vec![root] } else { Vec::new() },
+                edge_deps: deps.clone(),
+                deps,
             };
         }
+        let SearchScratch {
+            generation,
+            fanout,
+            roots,
+            adjacency,
+            arena,
+            path,
+            seen,
+            edge_deps,
+        } = scratch;
+        // The queue snapshot survives across searches while the graph is
+        // unchanged (or explicitly advanced) and the fanout fits; everything
+        // else is per-search state.
+        if *generation != Some(graph.generation()) || *fanout < self.fanout {
+            adjacency.clear();
+            roots.clear();
+            *generation = Some(graph.generation());
+            *fanout = self.fanout;
+        }
+        arena.clear();
+        seen.clear();
+        edge_deps.clear();
         let mut budget = self.expansion_budget;
         // Breadth-first enumeration of simple paths root <- r1 <- r2 ...
         // following incoming request edges.  Breadth-first order guarantees
@@ -162,13 +370,18 @@ impl RingSearch {
         // and the full path is only materialised — by walking parent
         // pointers into a reused buffer — for the one node being expanded.
         const NO_PARENT: usize = usize::MAX;
-        // (peer, object requested of its parent, parent arena index, depth)
-        let mut arena: Vec<(P, O, usize, usize)> = graph
-            .incoming(root)
-            .map(|req| (req.requester, req.object, NO_PARENT, 1usize))
-            .collect();
-        let mut seen: HashSet<Vec<RingEdge<P, O>>> = HashSet::new();
-        let mut path: Vec<(P, O)> = Vec::with_capacity(self.policy.max_depth());
+        // The root's queue is scanned in full (the paper's pairwise detection
+        // examines every pending request); providers are searched over and
+        // over, so their full queues are snapshotted separately from the
+        // capped interior prefixes.
+        arena.extend(
+            SearchScratch::full(roots, graph, root)
+                .iter()
+                .map(|&(requester, object)| (requester, object, NO_PARENT, 1usize)),
+        );
+        if trace_deps {
+            edge_deps.push(root);
+        }
         let mut head = 0;
 
         while head < arena.len() {
@@ -195,7 +408,7 @@ impl RingSearch {
             // the root wants?
             for object in wants {
                 if provides(&last_peer, object) {
-                    let ring = Self::ring_from_path(root, &path, *object);
+                    let ring = Self::ring_from_path(root, path, *object);
                     if let Ok(ring) = ring {
                         // Rings through `root` store their edges in cycle
                         // order starting with root's upload, so the edge list
@@ -209,12 +422,15 @@ impl RingSearch {
 
             // Extend the path.
             if depth < self.policy.max_depth() {
-                for req in graph.incoming(last_peer).take(self.fanout) {
-                    let peer = req.requester;
+                if trace_deps {
+                    edge_deps.push(last_peer);
+                }
+                let children = SearchScratch::prefix(adjacency, graph, last_peer, *fanout);
+                for &(peer, object) in children.iter().take(self.fanout) {
                     if peer == root || path.iter().any(|(p, _)| *p == peer) {
                         continue;
                     }
-                    arena.push((peer, req.object, head, depth + 1));
+                    arena.push((peer, object, head, depth + 1));
                 }
             }
             head += 1;
@@ -224,22 +440,26 @@ impl RingSearch {
             RingPreference::ShorterFirst => found.sort_by_key(|(size, _)| *size),
             RingPreference::LongerFirst => found.sort_by_key(|(size, _)| Reverse(*size)),
         }
-        // The dependency set: the root (its incoming queue seeds the search)
-        // plus every peer that entered the frontier, whether or not it was
-        // expanded before the budget ran out.
-        let deps = if trace_deps {
+        // The full dependency set: the root (its incoming queue seeds the
+        // search) plus every peer that entered the frontier, whether or not
+        // it was expanded before the budget ran out.  The edge-dependency
+        // subset holds only the peers whose queues were actually read.
+        let (deps, edge_deps) = if trace_deps {
             let mut deps: Vec<P> = Vec::with_capacity(arena.len() + 1);
             deps.push(root);
             deps.extend(arena.iter().map(|(peer, _, _, _)| *peer));
             deps.sort_unstable();
             deps.dedup();
-            deps
+            edge_deps.sort_unstable();
+            edge_deps.dedup();
+            (deps, edge_deps.clone())
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
         SearchTrace {
             rings: found.into_iter().map(|(_, ring)| ring).collect(),
             deps,
+            edge_deps,
         }
     }
 
@@ -501,6 +721,106 @@ mod tests {
         // Root 0 and frontier peers 1, 2 and 3 are deps (3 closes no ring but
         // was probed); the disconnected peers 8 and 9 are not.
         assert_eq!(trace.deps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_deps_cover_only_peers_whose_queues_were_read() {
+        // Chain 1 -> 0, 2 -> 1, 3 -> 2 with max ring size 3: the search reads
+        // the queues of 0 (seed) and 1 (expanded at depth 1); peer 2 enters
+        // the frontier at the depth bound, so its queue is never read, and
+        // peer 3 never enters at all.
+        let graph: RequestGraph<u32, u32> =
+            [(1, 0, 10), (2, 1, 20), (3, 2, 30)].into_iter().collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(2, vec![99])].into_iter().collect();
+        let trace =
+            RingSearch::new(shorter_first(3)).find_traced(&graph, 0, &[99], owns(&ownership));
+        assert_eq!(trace.rings.len(), 1);
+        assert_eq!(trace.deps, vec![0, 1, 2]);
+        assert_eq!(trace.edge_deps, vec![0, 1]);
+    }
+
+    #[test]
+    fn edge_deps_are_a_subset_of_deps() {
+        let graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (3, 2, 30), (2, 0, 11)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> =
+            [(2, vec![99]), (3, vec![99])].into_iter().collect();
+        for policy in [shorter_first(5), longer_first(4), shorter_first(2)] {
+            let trace = RingSearch::new(policy).find_traced(&graph, 0, &[99], owns(&ownership));
+            for peer in &trace.edge_deps {
+                assert!(trace.deps.contains(peer), "edge dep {peer} not in deps");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_backed_searches_equal_fresh_ones_across_mutations() {
+        let mut graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (2, 0, 11), (3, 2, 30)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99]), (2, vec![99]), (3, vec![98])]
+            .into_iter()
+            .collect();
+        let search = RingSearch::new(shorter_first(4));
+        let mut scratch = SearchScratch::new();
+        for round in 0..4u32 {
+            for root in 0..4u32 {
+                let shared =
+                    search.find_traced_in(&mut scratch, &graph, root, &[98, 99], owns(&ownership));
+                let fresh = search.find_traced(&graph, root, &[98, 99], owns(&ownership));
+                assert_eq!(shared, fresh, "root {root} round {round}");
+            }
+            assert!(scratch.snapshot_len() > 0, "snapshot is populated");
+            // Mutate the graph: the snapshot must refresh on the next search.
+            graph.add_request(round + 4, 0, 40 + round);
+        }
+    }
+
+    #[test]
+    fn advanced_scratch_keeps_untouched_snapshots_and_stays_exact() {
+        let mut graph: RequestGraph<u32, u32> = [(1, 0, 10), (2, 1, 20), (2, 0, 11), (3, 2, 30)]
+            .into_iter()
+            .collect();
+        let ownership: HashMap<u32, Vec<u32>> = [(1, vec![99]), (2, vec![99]), (3, vec![98])]
+            .into_iter()
+            .collect();
+        let search = RingSearch::new(shorter_first(4));
+        let mut scratch = SearchScratch::new();
+        graph.take_dirty_edges();
+        let mut drained = graph.generation();
+        for round in 0..5u32 {
+            for root in 0..4u32 {
+                let shared =
+                    search.find_traced_in(&mut scratch, &graph, root, &[98, 99], owns(&ownership));
+                let fresh = search.find_traced(&graph, root, &[98, 99], owns(&ownership));
+                assert_eq!(shared, fresh, "root {root} round {round}");
+            }
+            let populated = scratch.snapshot_len();
+            assert!(populated > 0);
+            // Mutate and advance incrementally: only the touched provider's
+            // snapshot is forgotten, everything else stays warm — and the
+            // next round must still agree with fresh searches.
+            graph.add_request(round + 4, 0, 40 + round);
+            let to = graph.generation();
+            scratch.advance(
+                drained,
+                to,
+                graph
+                    .take_dirty_edges()
+                    .into_iter()
+                    .map(|(provider, _, _)| (provider, true)),
+            );
+            drained = to;
+            assert!(
+                scratch.snapshot_len() >= populated - 2,
+                "advance must only forget the changed provider"
+            );
+        }
+        // A stale `from` generation must drop the whole snapshot, never
+        // reuse it.
+        scratch.advance(drained + 17, drained + 18, std::iter::empty());
+        assert_eq!(scratch.snapshot_len(), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use netsim::LinkConfig;
 use serde::{Deserialize, Serialize};
 use workload::WorkloadConfig;
 
-use crate::{BehaviorMix, Protection};
+use crate::{BehaviorMix, CacheGranularity, Protection};
 
 /// Full configuration of one simulation run.
 ///
@@ -78,6 +78,12 @@ pub struct SimConfig {
     /// runs produce identical reports with it on or off — so this knob
     /// exists for benchmarking and debugging, not for accuracy trade-offs.
     pub ring_candidate_cache: bool,
+    /// How precisely deltas invalidate cached ring candidates (see
+    /// [`crate::CacheGranularity`]).  Both granularities are exact; entry
+    /// level (the default) drops strictly fewer entries per delta and is the
+    /// difference between tractable and hopeless at 10⁴ peers.  Ignored when
+    /// [`ring_candidate_cache`](Self::ring_candidate_cache) is off.
+    pub ring_cache_granularity: CacheGranularity,
     /// Virtual length of the run, in seconds.
     pub sim_duration_s: f64,
     /// Warm-up period excluded from all reported statistics, in seconds.
@@ -113,6 +119,7 @@ impl SimConfig {
             ring_search_fanout: 16,
             ring_attempts_per_schedule: 8,
             ring_candidate_cache: true,
+            ring_cache_granularity: CacheGranularity::Entry,
             sim_duration_s: 48.0 * 3600.0,
             warmup_s: 8.0 * 3600.0,
             storage_maintenance_interval_s: 600.0,
@@ -144,6 +151,7 @@ impl SimConfig {
             ring_search_fanout: 8,
             ring_attempts_per_schedule: 8,
             ring_candidate_cache: true,
+            ring_cache_granularity: CacheGranularity::Entry,
             sim_duration_s: 3_000.0,
             warmup_s: 0.0,
             storage_maintenance_interval_s: 300.0,
@@ -326,6 +334,7 @@ mod tests {
         for c in [SimConfig::paper_defaults(), SimConfig::quick_test()] {
             assert_eq!(c.ring_attempts_per_schedule, 8);
             assert!(c.ring_candidate_cache);
+            assert_eq!(c.ring_cache_granularity, CacheGranularity::Entry);
         }
     }
 

@@ -68,5 +68,10 @@ pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
 pub use report::{BehaviorStats, SimReport};
 pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow};
-pub use simulation::{RingCacheStats, RingCandidateCache, Simulation};
+#[cfg(feature = "audit")]
+pub use simulation::audit;
+pub use simulation::{
+    CacheGranularity, CachedEntry, PhaseProfile, RingCacheStats, RingCandidateCache, SimSetup,
+    Simulation,
+};
 pub use types::{PeerClass, SessionEnd, SessionKind};

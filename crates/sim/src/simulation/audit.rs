@@ -1,0 +1,313 @@
+//! Between-events invariant audit (feature `audit`).
+//!
+//! [`Simulation::run_audited`] drives the same event loop as
+//! [`Simulation::run`] but re-checks the simulator's structural invariants
+//! after every event, and the report-level accounting identities after
+//! finalisation:
+//!
+//! * slot accounting — each peer's reserved upload/download slots equal its
+//!   live transfer count, and the transfer indexes agree with the transfer
+//!   table;
+//! * provision — every active transfer's uploader stores the object or is a
+//!   behavior that may advertise unstored objects (a relaying middleman);
+//! * rings — every active exchange ring's sessions form one cycle over
+//!   distinct peers;
+//! * byte conservation — total bytes uploaded equal total bytes downloaded,
+//!   and no peer's junk/ciphertext tallies exceed its downloads;
+//! * cache exactness — every live [`super::RingCandidateCache`] entry equals
+//!   a fresh [`exchange::RingSearch::find_traced`] run against the current
+//!   graph and claims oracle, dependency sets included;
+//! * report accounting ([`check_report`]) — per-behavior totals sum to the
+//!   global totals.
+//!
+//! The checks are deliberately exhaustive and therefore expensive (the cache
+//! check re-runs every cached search per event); the feature exists for
+//! tests, not production runs.
+
+use std::collections::BTreeMap;
+
+use exchange::RingSearch;
+use workload::PeerId;
+
+use crate::SimReport;
+
+use super::events::Event;
+use super::Simulation;
+
+impl Simulation {
+    /// Runs the simulation to its horizon, checking every invariant after
+    /// every event and the report identities after finalisation.
+    ///
+    /// The returned report is identical to [`Simulation::run`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    #[must_use]
+    pub fn run_audited(mut self) -> SimReport {
+        self.audit()
+            .unwrap_or_else(|e| panic!("invariant violated before the first event: {e}"));
+        while let Some(event) = self.engine.next() {
+            match event {
+                Event::GenerateRequests(peer) => self.handle_generate_requests(peer),
+                Event::TrySchedule(peer) => self.handle_try_schedule(peer),
+                Event::BlockComplete(transfer) => self.handle_block_complete(transfer),
+                Event::StorageMaintenance(peer) => self.handle_storage_maintenance(peer),
+            }
+            // Graph deltas are drained lazily, at the next cached lookup; do
+            // that drain now so the cache check sees the state a lookup
+            // would.  The drain is exactly what the scheduling path performs,
+            // so the audited run stays identical to an unaudited one.
+            self.drain_graph_deltas();
+            self.audit().unwrap_or_else(|e| {
+                panic!(
+                    "invariant violated after {event:?} at t={:.1}s: {e}",
+                    self.engine.now().as_secs_f64()
+                )
+            });
+        }
+        let report = self.finalize();
+        check_report(&report).unwrap_or_else(|e| panic!("report accounting violated: {e}"));
+        report
+    }
+
+    /// Checks every between-events invariant once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        self.audit_slots_and_indexes()?;
+        self.audit_transfer_provision()?;
+        self.audit_rings()?;
+        self.audit_byte_conservation()?;
+        self.audit_ring_cache()?;
+        Ok(())
+    }
+
+    /// Slot reservations and the transfer indexes agree with the transfer
+    /// table.
+    fn audit_slots_and_indexes(&self) -> Result<(), String> {
+        let mut uploads: BTreeMap<PeerId, usize> = BTreeMap::new();
+        let mut downloads: BTreeMap<PeerId, usize> = BTreeMap::new();
+        for (tid, t) in &self.transfers {
+            *uploads.entry(t.uploader).or_default() += 1;
+            *downloads.entry(t.downloader).or_default() += 1;
+            let indexed_up = self
+                .uploads_by_peer
+                .get(&t.uploader)
+                .is_some_and(|tids| tids.contains(tid));
+            if !indexed_up {
+                return Err(format!("transfer {tid} missing from uploads_by_peer"));
+            }
+            let indexed_down = self
+                .downloads_by_want
+                .get(&(t.downloader, t.object))
+                .is_some_and(|tids| tids.contains(tid));
+            if !indexed_down {
+                return Err(format!("transfer {tid} missing from downloads_by_want"));
+            }
+        }
+        for (peer, tids) in &self.uploads_by_peer {
+            for tid in tids {
+                if self.transfers.get(tid).map(|t| t.uploader) != Some(*peer) {
+                    return Err(format!("uploads_by_peer[{peer:?}] holds stale id {tid}"));
+                }
+            }
+        }
+        for ((peer, object), tids) in &self.downloads_by_want {
+            for tid in tids {
+                let live = self
+                    .transfers
+                    .get(tid)
+                    .is_some_and(|t| t.downloader == *peer && t.object == *object);
+                if !live {
+                    return Err(format!(
+                        "downloads_by_want[{peer:?},{object:?}] holds stale id {tid}"
+                    ));
+                }
+            }
+        }
+        for peer in &self.peers {
+            let up = uploads.get(&peer.id).copied().unwrap_or(0);
+            if peer.upload_slots.in_use() != up {
+                return Err(format!(
+                    "peer {:?}: {} upload slots reserved but {up} live uploads",
+                    peer.id,
+                    peer.upload_slots.in_use()
+                ));
+            }
+            let down = downloads.get(&peer.id).copied().unwrap_or(0);
+            if peer.download_slots.in_use() != down {
+                return Err(format!(
+                    "peer {:?}: {} download slots reserved but {down} live downloads",
+                    peer.id,
+                    peer.download_slots.in_use()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every active transfer's uploader stores the object, unless its
+    /// behavior may legitimately advertise unstored objects (middleman
+    /// relays; their backing claims are re-validated block by block).
+    fn audit_transfer_provision(&self) -> Result<(), String> {
+        for (tid, t) in &self.transfers {
+            let uploader = self.peer(t.uploader);
+            let holds = uploader.storage.contains(t.object)
+                || self.behavior(t.uploader).advertises_unstored();
+            if !holds {
+                return Err(format!(
+                    "transfer {tid}: uploader {:?} neither stores nor may advertise {:?}",
+                    t.uploader, t.object
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every active ring's sessions form one cycle over distinct peers.
+    fn audit_rings(&self) -> Result<(), String> {
+        for (ring_id, ring) in &self.rings {
+            let mut next: BTreeMap<PeerId, PeerId> = BTreeMap::new();
+            for tid in &ring.transfers {
+                let Some(t) = self.transfers.get(tid) else {
+                    return Err(format!("ring {ring_id} references dead transfer {tid}"));
+                };
+                if t.ring != Some(*ring_id) {
+                    return Err(format!(
+                        "ring {ring_id}: transfer {tid} belongs to {:?}",
+                        t.ring
+                    ));
+                }
+                if next.insert(t.uploader, t.downloader).is_some() {
+                    return Err(format!(
+                        "ring {ring_id}: peer {:?} uploads on two edges",
+                        t.uploader
+                    ));
+                }
+            }
+            let Some(start) = ring
+                .transfers
+                .first()
+                .and_then(|tid| self.transfers.get(tid))
+            else {
+                return Err(format!("ring {ring_id} has no transfers"));
+            };
+            // Walk the cycle; after exactly len() hops we must be back at the
+            // start having seen len() distinct peers.
+            let mut cursor = start.uploader;
+            for hop in 0..ring.transfers.len() {
+                let Some(&downloader) = next.get(&cursor) else {
+                    return Err(format!(
+                        "ring {ring_id}: no outgoing edge at {cursor:?} after {hop} hops"
+                    ));
+                };
+                cursor = downloader;
+            }
+            if cursor != start.uploader {
+                return Err(format!("ring {ring_id}: edges do not close a cycle"));
+            }
+            if next.len() != ring.transfers.len() {
+                return Err(format!("ring {ring_id}: peers are not distinct"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes uploaded equal total bytes downloaded, and per-peer junk
+    /// and ciphertext tallies never exceed the downloads they are part of.
+    fn audit_byte_conservation(&self) -> Result<(), String> {
+        let uploaded: u64 = self.peers.iter().map(|p| p.uploaded_bytes).sum();
+        let downloaded: u64 = self.peers.iter().map(|p| p.downloaded_bytes).sum();
+        if uploaded != downloaded {
+            return Err(format!(
+                "byte conservation broken: {uploaded} uploaded vs {downloaded} downloaded"
+            ));
+        }
+        for peer in &self.peers {
+            if peer.junk_bytes + peer.ciphertext_bytes > peer.downloaded_bytes {
+                return Err(format!(
+                    "peer {:?}: junk {} + ciphertext {} exceed downloads {}",
+                    peer.id, peer.junk_bytes, peer.ciphertext_bytes, peer.downloaded_bytes
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every live cache entry — rings and both dependency sets — equals a
+    /// fresh traced search against the current graph and claims oracle.
+    fn audit_ring_cache(&self) -> Result<(), String> {
+        if self.ring_cache.is_empty() {
+            return Ok(());
+        }
+        let Some(policy) = self.config.discipline.search_policy() else {
+            return Err("cache holds entries although the discipline never searches".into());
+        };
+        let search = RingSearch::new(policy)
+            .with_expansion_budget(self.config.ring_search_budget)
+            .with_fanout(self.config.ring_search_fanout);
+        for entry in self.ring_cache.iter_entries() {
+            let fresh = search.find_traced(&self.graph, entry.root, entry.wants, |peer, object| {
+                self.claims(*peer, *object)
+            });
+            if fresh.rings != entry.rings {
+                return Err(format!(
+                    "stale cached rings at {:?} (wants {:?}): cached {} vs fresh {}",
+                    entry.root,
+                    entry.wants,
+                    entry.rings.len(),
+                    fresh.rings.len()
+                ));
+            }
+            if fresh.deps != entry.deps || fresh.edge_deps != entry.edge_deps {
+                return Err(format!(
+                    "stale cached dependency sets at {:?} (wants {:?})",
+                    entry.root, entry.wants
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks a finished run's report-level accounting identities: per-behavior
+/// totals sum to the global totals, and every session end was counted.
+///
+/// # Errors
+///
+/// Returns a description of the first violated identity.
+pub fn check_report(report: &SimReport) -> Result<(), String> {
+    let behaviors = report.behavior_breakdown();
+    let peers: usize = behaviors.values().map(|s| s.peers).sum();
+    if peers != report.peers() {
+        return Err(format!(
+            "behavior peer counts sum to {peers}, report has {}",
+            report.peers()
+        ));
+    }
+    let uploaded: u64 = behaviors.values().map(|s| s.uploaded_bytes).sum();
+    let downloaded: u64 = behaviors.values().map(|s| s.downloaded_bytes).sum();
+    if uploaded != downloaded {
+        return Err(format!(
+            "behavior byte totals broken: {uploaded} uploaded vs {downloaded} downloaded"
+        ));
+    }
+    let completions: u64 = behaviors.values().map(|s| s.completed_downloads).sum();
+    if completions != report.completed_downloads() {
+        return Err(format!(
+            "behavior completions sum to {completions}, report has {}",
+            report.completed_downloads()
+        ));
+    }
+    let ends: u64 = report.session_end_counts().values().sum();
+    if ends != report.total_sessions() {
+        return Err(format!(
+            "{ends} session ends recorded for {} sessions",
+            report.total_sessions()
+        ));
+    }
+    Ok(())
+}

@@ -57,22 +57,26 @@ impl Simulation {
     /// advertise objects some honest holder could source, so relayed content
     /// never materialises out of thin air.
     fn issue_request(&mut self, requester: PeerId, object: ObjectId) {
-        let mut all_providers: Vec<PeerId> = Vec::new();
-        let mut advertisers: Vec<PeerId> = Vec::new();
-        let mut honest_source = false;
-        for p in &self.peers {
-            if p.id == requester || !p.sharing {
-                continue;
-            }
-            if p.storage.contains(object) {
-                all_providers.push(p.id);
-                honest_source |= self.behaviors[p.id.as_usize()].shares_honestly();
-            } else if self.behaviors[p.id.as_usize()].advertises_unstored() {
-                advertisers.push(p.id);
-            }
-        }
+        // The lookup index keeps the sharing holders of every object in
+        // peer-id order (exactly the order the old full-population scan
+        // produced), plus the honest-holder count middleman advertisements
+        // hinge on — each request costs O(holders), not O(peers).
+        let mut all_providers: Vec<PeerId> = self.holders[object.as_usize()]
+            .iter()
+            .copied()
+            .filter(|p| *p != requester)
+            .collect();
+        // A requester never looks up an object it already stores, so the
+        // honest-holder count needs no self-exclusion.
+        let honest_source = self.honest_holders[object.as_usize()] > 0;
         if honest_source {
-            all_providers.extend(advertisers);
+            let peers = &self.peers;
+            all_providers.extend(
+                self.advertisers
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != requester && !peers[p.as_usize()].storage.contains(object)),
+            );
         }
         if all_providers.is_empty() {
             return; // nothing to request from right now
@@ -139,9 +143,11 @@ impl Simulation {
         };
         // Requests directed at this peer for evicted objects can no longer be
         // served here; withdraw them so the request graph stays truthful, and
-        // drop cached ring candidates that relied on the peer's holdings.
-        if !evicted.is_empty() {
-            self.ring_cache.invalidate_peer(peer);
+        // drop cached ring candidates that relied on the peer holding exactly
+        // these objects (entries that never probed them survive).
+        for object in &evicted {
+            self.index_holding_lost(peer, *object);
+            self.ring_cache.invalidate_holding(peer, *object);
         }
         for object in evicted {
             let stale: Vec<PeerId> = self
@@ -168,23 +174,14 @@ impl Simulation {
     /// go through the graph's dirty set, which keeps the ring-candidate
     /// cache exact.
     fn withdraw_unsourceable_middleman_claims(&mut self, object: ObjectId) {
-        let sourceable = self.peers.iter().any(|p| {
-            p.sharing
-                && p.storage.contains(object)
-                && self.behaviors[p.id.as_usize()].shares_honestly()
-        });
-        if sourceable {
+        if self.honest_holders[object.as_usize()] > 0 {
             return;
         }
         let advertisers: Vec<PeerId> = self
-            .peers
+            .advertisers
             .iter()
-            .filter(|p| {
-                p.sharing
-                    && !p.storage.contains(object)
-                    && self.behaviors[p.id.as_usize()].advertises_unstored()
-            })
-            .map(|p| p.id)
+            .copied()
+            .filter(|p| !self.peer(*p).storage.contains(object))
             .collect();
         for middleman in advertisers {
             let stale: Vec<PeerId> = self

@@ -10,22 +10,26 @@
 //! * [`transfers`] — the block-by-block transfer lifecycle and its
 //!   bookkeeping.
 
+#[cfg(feature = "audit")]
+pub mod audit;
 mod events;
 mod ring_cache;
 mod scheduling;
 mod transfers;
 
-pub use ring_cache::{RingCacheStats, RingCandidateCache};
+pub use ring_cache::{CacheGranularity, CachedEntry, RingCacheStats, RingCandidateCache};
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use credit::UploadScheduler;
 use des::{DetRng, Scheduler, SimTime};
-use exchange::RequestGraph;
+use exchange::{RequestGraph, SearchScratch};
 use netsim::SlotPool;
 use workload::{Catalog, ObjectId, PeerId, PeerInterests, RequestGenerator, Storage};
 
-use crate::{PeerBehavior, PeerState, SessionEnd, SimConfig, SimReport};
+use crate::{BehaviorKind, PeerBehavior, PeerState, SessionEnd, SimConfig, SimReport};
 
 use events::Event;
 use transfers::{ActiveRing, ActiveTransfer};
@@ -34,6 +38,117 @@ use transfers::{ActiveRing, ActiveTransfer};
 pub(crate) type TransferId = u64;
 /// Identifier of an active exchange ring within one run.
 pub(crate) type RingId = u64;
+
+/// The seed-dependent but *run-independent* setup of one configuration: the
+/// generated catalog, the behavior assignment, and the pristine peer states
+/// (interests, initial storage placement, empty slot pools).
+///
+/// Generating this is pure function of `(config, setup seed)` — building a
+/// [`Simulation`] from a shared setup via [`Simulation::from_setup`] with the
+/// same seed is bit-identical to [`Simulation::new`].  Warm restarts
+/// ([`crate::Scenario::warm_restarts`]) generate one setup per grid point and
+/// share it across that point's seeds, regenerating only the per-run RNG
+/// streams (requests, lookups, storage eviction), so the catalog and peer
+/// topology — the expensive part of setup at 10⁴ peers — is paid once.
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    seed: u64,
+    catalog: Catalog,
+    kinds: Vec<BehaviorKind>,
+    peers: Vec<PeerState>,
+}
+
+impl SimSetup {
+    /// Generates the catalog and peer topology for `config`,
+    /// deterministically seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn generate(config: &SimConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+        let root_rng = DetRng::seed_from(seed);
+        let mut rng_setup = root_rng.stream("setup");
+        let catalog = Catalog::generate(&config.workload, &mut rng_setup);
+        let num_peers = config.num_peers;
+        let kinds = config.behaviors.assign(num_peers, &mut rng_setup);
+
+        let mut peers = Vec::with_capacity(num_peers);
+        for (index, behavior) in kinds.iter().enumerate() {
+            let mut peer_rng = root_rng.indexed_stream("peer-setup", index as u64);
+            let interests = PeerInterests::generate(&catalog, &config.workload, &mut peer_rng);
+            let (cap_lo, cap_hi) = config.workload.storage_capacity_objects;
+            let capacity = peer_rng.gen_range(cap_lo..=cap_hi) as usize;
+            let storage = Storage::initial_placement(
+                capacity,
+                &catalog,
+                &interests,
+                &config.workload,
+                &mut peer_rng,
+            );
+            peers.push(PeerState {
+                id: PeerId::new(index as u32),
+                behavior: *behavior,
+                sharing: behavior.build().uploads(),
+                interests,
+                storage,
+                upload_slots: SlotPool::new(config.link.upload_slots()),
+                download_slots: SlotPool::new(config.link.download_slots()),
+                wants: Default::default(),
+                downloaded_bytes: 0,
+                uploaded_bytes: 0,
+                junk_bytes: 0,
+                ciphertext_bytes: 0,
+            });
+        }
+        SimSetup {
+            seed,
+            catalog,
+            kinds,
+            peers,
+        }
+    }
+
+    /// The seed this setup was generated from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of peers in the generated topology.
+    #[must_use]
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+/// Wall-clock breakdown of one [profiled](Simulation::run_profiled) run by
+/// event phase.  `scheduling` includes `ring_search`; `event_loop` covers the
+/// whole dispatch loop (the four phases plus engine overhead).  Setup time is
+/// not included — time [`Simulation::new`]/[`SimSetup::generate`] separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Total events dispatched.
+    pub events: u64,
+    /// Wall-clock time of the whole event loop.
+    pub event_loop: Duration,
+    /// Time spent generating and registering requests.
+    pub generate_requests: Duration,
+    /// Time spent filling upload slots (ring discovery + activation + the
+    /// non-exchange fallback).
+    pub scheduling: Duration,
+    /// Time spent inside fresh ring searches (a subset of `scheduling`).
+    pub ring_search: Duration,
+    /// Number of fresh ring searches run.
+    pub ring_searches: u64,
+    /// Time spent completing transfer blocks.
+    pub transfers: Duration,
+    /// Time spent in storage-maintenance passes.
+    pub maintenance: Duration,
+}
 
 /// One run of the file-sharing system.
 ///
@@ -76,9 +191,37 @@ pub struct Simulation {
     /// Memoised ring-search results (see [`RingCandidateCache`]); only
     /// consulted when [`SimConfig::ring_candidate_cache`] is set.
     ring_cache: RingCandidateCache,
+    /// Shared ring-search working memory: BFS buffers plus the
+    /// per-generation adjacency snapshot reused across providers
+    /// (see [`exchange::SearchScratch`]).  At entry granularity the
+    /// snapshot additionally survives graph mutations: the dirty-edge drain
+    /// advances it, forgetting only the queues that changed.
+    scratch: SearchScratch<PeerId, ObjectId>,
+    /// The graph generation up to which the dirty log has been drained
+    /// (the `from` side of the scratch's incremental advance).
+    drained_generation: u64,
+    /// Sharing peers currently storing each object, indexed by object id and
+    /// iterated in peer-id order — the lookup index that replaces the old
+    /// O(peers) provider scan per issued request.  Maintained at every
+    /// storage change (download completed, eviction).
+    holders: Vec<std::collections::BTreeSet<PeerId>>,
+    /// How many of [`holders`](Self::holders) per object also share
+    /// honestly (a middleman advertisement is only as good as an honest
+    /// source).
+    honest_holders: Vec<u32>,
+    /// The peers whose behavior may advertise unstored objects (middlemen),
+    /// in id order; behaviors are fixed per run, so this is static.
+    advertisers: Vec<PeerId>,
     /// Bumped whenever a transfer starts or ends; lets the scheduling loop
     /// detect that an assembled non-exchange queue is still current.
     transfer_epoch: u64,
+    /// Set by [`run_profiled`](Self::run_profiled): fresh ring searches time
+    /// themselves into `ring_search_nanos`.
+    profile_searches: bool,
+    /// Nanoseconds spent in fresh ring searches (profiled runs only).
+    ring_search_nanos: Cell<u64>,
+    /// Number of fresh ring searches run (profiled runs only).
+    ring_searches: Cell<u64>,
 }
 
 impl Simulation {
@@ -89,46 +232,38 @@ impl Simulation {
     /// Panics if the configuration fails [`SimConfig::validate`].
     #[must_use]
     pub fn new(config: SimConfig, seed: u64) -> Self {
+        let setup = SimSetup::generate(&config, seed);
+        Simulation::from_setup(config, &setup, seed)
+    }
+
+    /// Builds a simulation on a pre-generated [`SimSetup`], regenerating only
+    /// the per-run RNG streams from `seed`.
+    ///
+    /// `Simulation::from_setup(config, &SimSetup::generate(&config, s), s)`
+    /// is bit-identical to `Simulation::new(config, s)`; sharing one setup
+    /// across several run seeds is the warm-restart mode of
+    /// [`crate::Scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`] or the setup
+    /// was generated for a different population size.
+    #[must_use]
+    pub fn from_setup(config: SimConfig, setup: &SimSetup, seed: u64) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+        assert_eq!(
+            setup.num_peers(),
+            config.num_peers,
+            "setup was generated for a different number of peers"
+        );
         let root_rng = DetRng::seed_from(seed);
-        let mut rng_setup = root_rng.stream("setup");
-        let catalog = Catalog::generate(&config.workload, &mut rng_setup);
-
-        let num_peers = config.num_peers;
-        let kinds = config.behaviors.assign(num_peers, &mut rng_setup);
         let behaviors: Vec<Box<dyn PeerBehavior>> =
-            kinds.iter().map(crate::BehaviorKind::build).collect();
-
-        let mut peers = Vec::with_capacity(num_peers);
-        for (index, behavior) in kinds.into_iter().enumerate() {
-            let mut peer_rng = root_rng.indexed_stream("peer-setup", index as u64);
-            let interests = PeerInterests::generate(&catalog, &config.workload, &mut peer_rng);
-            let (cap_lo, cap_hi) = config.workload.storage_capacity_objects;
-            let capacity = peer_rng.gen_range(cap_lo..=cap_hi) as usize;
-            let storage = Storage::initial_placement(
-                capacity,
-                &catalog,
-                &interests,
-                &config.workload,
-                &mut peer_rng,
-            );
-            peers.push(PeerState {
-                id: PeerId::new(index as u32),
-                behavior,
-                sharing: behaviors[index].uploads(),
-                interests,
-                storage,
-                upload_slots: SlotPool::new(config.link.upload_slots()),
-                download_slots: SlotPool::new(config.link.download_slots()),
-                wants: Default::default(),
-                downloaded_bytes: 0,
-                uploaded_bytes: 0,
-                junk_bytes: 0,
-                ciphertext_bytes: 0,
-            });
-        }
+            setup.kinds.iter().map(crate::BehaviorKind::build).collect();
+        let peers = setup.peers.clone();
+        let catalog = setup.catalog.clone();
+        let num_peers = config.num_peers;
 
         let horizon = SimTime::from_secs_f64(config.sim_duration_s);
         let mut engine = Scheduler::with_horizon(horizon);
@@ -147,6 +282,25 @@ impl Simulation {
         }
 
         let report = SimReport::new(num_peers);
+        let ring_cache = RingCandidateCache::with_granularity(config.ring_cache_granularity);
+        let mut holders = vec![std::collections::BTreeSet::new(); catalog.num_objects()];
+        let mut honest_holders = vec![0u32; catalog.num_objects()];
+        let mut advertisers = Vec::new();
+        for (peer, behavior) in peers.iter().zip(behaviors.iter()) {
+            if !peer.sharing {
+                continue;
+            }
+            let honest = behavior.shares_honestly();
+            for object in peer.storage.iter() {
+                holders[object.as_usize()].insert(peer.id);
+                if honest {
+                    honest_holders[object.as_usize()] += 1;
+                }
+            }
+            if behavior.advertises_unstored() {
+                advertisers.push(peer.id);
+            }
+        }
         Simulation {
             request_gen: RequestGenerator::new(&config.workload),
             rng_requests: root_rng.stream("requests"),
@@ -166,8 +320,16 @@ impl Simulation {
             next_ring_id: 0,
             engine,
             report,
-            ring_cache: RingCandidateCache::new(),
+            ring_cache,
+            scratch: SearchScratch::new(),
+            drained_generation: 0,
+            holders,
+            honest_holders,
+            advertisers,
             transfer_epoch: 0,
+            profile_searches: false,
+            ring_search_nanos: Cell::new(0),
+            ring_searches: Cell::new(0),
         }
     }
 
@@ -196,6 +358,12 @@ impl Simulation {
         self.ring_cache.stats()
     }
 
+    /// Swaps in a custom upload scheduler (instrumentation in tests).
+    #[cfg(test)]
+    pub(crate) fn set_scheduler(&mut self, scheduler: Box<dyn UploadScheduler<PeerId>>) {
+        self.scheduler = scheduler;
+    }
+
     /// Runs the simulation to its horizon and returns the collected report.
     #[must_use]
     pub fn run(mut self) -> SimReport {
@@ -208,6 +376,42 @@ impl Simulation {
             }
         }
         self.finalize()
+    }
+
+    /// Like [`run`](Self::run), but additionally times every event phase and
+    /// the fresh ring searches, returning the wall-clock breakdown alongside
+    /// the report.  The report is identical to an unprofiled run.
+    #[must_use]
+    pub fn run_profiled(mut self) -> (SimReport, PhaseProfile) {
+        self.profile_searches = true;
+        let mut profile = PhaseProfile::default();
+        let loop_start = Instant::now();
+        while let Some(event) = self.engine.next() {
+            profile.events += 1;
+            let start = Instant::now();
+            match event {
+                Event::GenerateRequests(peer) => {
+                    self.handle_generate_requests(peer);
+                    profile.generate_requests += start.elapsed();
+                }
+                Event::TrySchedule(peer) => {
+                    self.handle_try_schedule(peer);
+                    profile.scheduling += start.elapsed();
+                }
+                Event::BlockComplete(transfer) => {
+                    self.handle_block_complete(transfer);
+                    profile.transfers += start.elapsed();
+                }
+                Event::StorageMaintenance(peer) => {
+                    self.handle_storage_maintenance(peer);
+                    profile.maintenance += start.elapsed();
+                }
+            }
+        }
+        profile.event_loop = loop_start.elapsed();
+        profile.ring_search = Duration::from_nanos(self.ring_search_nanos.get());
+        profile.ring_searches = self.ring_searches.get();
+        (self.finalize(), profile)
     }
 
     fn finalize(mut self) -> SimReport {
@@ -253,6 +457,27 @@ impl Simulation {
     /// The strategic behavior of `id`.
     fn behavior(&self, id: PeerId) -> &dyn PeerBehavior {
         self.behaviors[id.as_usize()].as_ref()
+    }
+
+    /// Registers `peer` (which just stored `object`) in the lookup index.
+    /// Only sharing peers serve, so only they are indexed.
+    pub(crate) fn index_holding_gained(&mut self, peer: PeerId, object: ObjectId) {
+        if !self.peer(peer).sharing {
+            return;
+        }
+        if self.holders[object.as_usize()].insert(peer) && self.behavior(peer).shares_honestly() {
+            self.honest_holders[object.as_usize()] += 1;
+        }
+    }
+
+    /// Removes `peer` (which just evicted `object`) from the lookup index.
+    pub(crate) fn index_holding_lost(&mut self, peer: PeerId, object: ObjectId) {
+        if !self.peer(peer).sharing {
+            return;
+        }
+        if self.holders[object.as_usize()].remove(&peer) && self.behavior(peer).shares_honestly() {
+            self.honest_holders[object.as_usize()] -= 1;
+        }
     }
 
     /// Whether `peer` claims to be able to serve `object` — its advertised
@@ -434,6 +659,227 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn from_setup_with_the_setup_seed_matches_a_cold_start() {
+        let config = SimConfig::quick_test();
+        let setup = SimSetup::generate(&config, 17);
+        assert_eq!(setup.seed(), 17);
+        let warm = Simulation::from_setup(config.clone(), &setup, 17).run();
+        let cold = Simulation::new(config, 17).run();
+        assert_eq!(warm.completed_downloads(), cold.completed_downloads());
+        assert_eq!(warm.total_sessions(), cold.total_sessions());
+        assert_eq!(warm.total_rings(), cold.total_rings());
+        assert_eq!(warm.session_counts(), cold.session_counts());
+    }
+
+    #[test]
+    fn from_setup_varies_only_the_run_streams_across_seeds() {
+        let config = SimConfig::quick_test();
+        let setup = SimSetup::generate(&config, 3);
+        let a = Simulation::from_setup(config.clone(), &setup, 3);
+        let b = Simulation::from_setup(config.clone(), &setup, 4);
+        // Identical topology...
+        for (pa, pb) in a.peers().iter().zip(b.peers().iter()) {
+            assert_eq!(pa.sharing, pb.sharing);
+            assert_eq!(
+                pa.storage.iter().collect::<Vec<_>>(),
+                pb.storage.iter().collect::<Vec<_>>()
+            );
+        }
+        // ...but different runs.
+        let (ra, rb) = (a.run(), b.run());
+        assert!(
+            ra.total_sessions() != rb.total_sessions()
+                || ra.completed_downloads() != rb.completed_downloads()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different number of peers")]
+    fn from_setup_rejects_mismatched_population() {
+        let config = SimConfig::quick_test();
+        let setup = SimSetup::generate(&config, 1);
+        let mut other = config;
+        other.num_peers += 1;
+        let _ = Simulation::from_setup(other, &setup, 1);
+    }
+
+    #[test]
+    fn cache_granularities_produce_identical_reports() {
+        for granularity in [CacheGranularity::Provider, CacheGranularity::Entry] {
+            let mut config = SimConfig::quick_test();
+            config.discipline = ExchangePolicy::two_five_way();
+            config.ring_cache_granularity = granularity;
+            let report = Simulation::new(config, 21).run();
+            let mut baseline = SimConfig::quick_test();
+            baseline.discipline = ExchangePolicy::two_five_way();
+            baseline.ring_candidate_cache = false;
+            let uncached = Simulation::new(baseline, 21).run();
+            assert_eq!(
+                report.completed_downloads(),
+                uncached.completed_downloads(),
+                "{granularity:?}"
+            );
+            assert_eq!(report.total_sessions(), uncached.total_sessions());
+            assert_eq!(report.total_rings(), uncached.total_rings());
+        }
+    }
+
+    #[test]
+    fn entry_granularity_invalidates_no_more_than_provider_granularity() {
+        let mut entry = SimConfig::quick_test();
+        entry.ring_cache_granularity = CacheGranularity::Entry;
+        let mut provider = SimConfig::quick_test();
+        provider.ring_cache_granularity = CacheGranularity::Provider;
+        let entry_stats = Simulation::new(entry, 8).run().ring_cache_stats();
+        let provider_stats = Simulation::new(provider, 8).run().ring_cache_stats();
+        assert!(
+            entry_stats.invalidations <= provider_stats.invalidations,
+            "entry granularity must be lazier: {} vs {}",
+            entry_stats.invalidations,
+            provider_stats.invalidations
+        );
+        assert!(
+            entry_stats.hits >= provider_stats.hits,
+            "lazier invalidation cannot lose hits on an identical event stream: {} vs {}",
+            entry_stats.hits,
+            provider_stats.hits
+        );
+    }
+
+    #[test]
+    fn profiled_runs_report_identical_results_plus_timings() {
+        let mut config = SimConfig::quick_test();
+        config.discipline = ExchangePolicy::two_five_way();
+        let plain = Simulation::new(config.clone(), 31).run();
+        let (profiled, profile) = Simulation::new(config, 31).run_profiled();
+        assert_eq!(plain.completed_downloads(), profiled.completed_downloads());
+        assert_eq!(plain.total_sessions(), profiled.total_sessions());
+        assert!(profile.events > 0);
+        assert!(profile.event_loop >= profile.scheduling);
+        assert!(profile.scheduling >= profile.ring_search);
+        assert!(profile.ring_searches > 0);
+    }
+
+    /// What one scheduler call was, for the participation-report regression
+    /// test: `Request(requester)`, `Transfer(uploader)` or
+    /// `Report(peer, level)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum SchedulerCall {
+        Request(PeerId),
+        Transfer(PeerId),
+        Report(PeerId, f64),
+    }
+
+    /// A FIFO-ish scheduler that logs every lifecycle hook it receives.
+    #[derive(Debug)]
+    struct RecordingScheduler {
+        log: std::sync::Arc<std::sync::Mutex<Vec<SchedulerCall>>>,
+    }
+
+    impl UploadScheduler<PeerId> for RecordingScheduler {
+        fn on_request(&mut self, requester: PeerId, _provider: PeerId) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(SchedulerCall::Request(requester));
+        }
+
+        fn on_transfer_complete(&mut self, uploader: PeerId, _downloader: PeerId, _bytes: u64) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(SchedulerCall::Transfer(uploader));
+        }
+
+        fn on_participation_report(&mut self, peer: PeerId, level: f64) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(SchedulerCall::Report(peer, level));
+        }
+
+        fn pick(
+            &mut self,
+            _provider: PeerId,
+            queue: &[credit::QueuedRequest<PeerId>],
+        ) -> Option<usize> {
+            (!queue.is_empty()).then_some(0)
+        }
+
+        fn label(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    /// Regression test: `UploadScheduler::on_participation_report` must fire
+    /// for peers that never upload — not only when they register a request,
+    /// but also when one of their sessions ends, so a scheduler's view of a
+    /// silent downloader stays current.
+    #[test]
+    fn participation_reports_flow_for_never_uploading_peers_and_on_session_end() {
+        let mut config = SimConfig::quick_test();
+        config.num_peers = 20;
+        config.sim_duration_s = 2_000.0;
+        config.behaviors = crate::BehaviorMix::weighted([
+            (crate::BehaviorKind::Honest, 0.5),
+            (crate::BehaviorKind::ParticipationCheater, 0.5),
+        ]);
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(config, 23);
+        sim.set_scheduler(Box::new(RecordingScheduler { log: log.clone() }));
+        let report = sim.run();
+        assert!(report.completed_downloads() > 0, "cheaters must get served");
+
+        let log = log.lock().unwrap();
+        let uploaders: std::collections::HashSet<PeerId> = log
+            .iter()
+            .filter_map(|call| match call {
+                SchedulerCall::Transfer(uploader) => Some(*uploader),
+                _ => None,
+            })
+            .collect();
+        // (1) Never-uploading peers deliver reports at all, and cheaters'
+        // announcements arrive behavior-inflated through the trait object.
+        assert!(
+            log.iter().any(|call| matches!(
+                call,
+                SchedulerCall::Report(peer, level)
+                    if !uploaders.contains(peer)
+                        && *level >= crate::INFLATED_PARTICIPATION_LEVEL
+            )),
+            "no inflated report from a never-uploading peer reached the scheduler"
+        );
+        // (2) Reports are delivered on session end too.  Registration-time
+        // reports are immediately preceded by an `on_request` of the same
+        // peer (the registration loop notifies edge by edge, then reports);
+        // any report without that prefix came from a session ending.
+        let session_end_reports = log
+            .iter()
+            .enumerate()
+            .filter(|(index, call)| {
+                matches!(call, SchedulerCall::Report(peer, _)
+                    if *index == 0
+                        || !matches!(&log[index - 1], SchedulerCall::Request(r) if r == peer))
+            })
+            .count();
+        assert!(
+            session_end_reports > 0,
+            "no participation report was delivered outside request registration"
+        );
+        // (3) Never-uploading peers are among the session-end reporters.
+        let session_end_from_silent = log.iter().enumerate().any(|(index, call)| {
+            matches!(call, SchedulerCall::Report(peer, _)
+                if !uploaders.contains(peer)
+                    && (index == 0
+                        || !matches!(&log[index - 1], SchedulerCall::Request(r) if r == peer)))
+        });
+        assert!(
+            session_end_from_silent,
+            "session-end reports never covered a never-uploading peer"
+        );
     }
 
     #[test]

@@ -7,24 +7,71 @@
 //! relevant *delta* lands:
 //!
 //! * **graph deltas** (request added/removed, peer departed) arrive through
-//!   [`RequestGraph`]'s dirty set via
+//!   [`RequestGraph`]'s dirty log via
 //!   [`apply_graph_deltas`](RingCandidateCache::apply_graph_deltas);
-//! * **oracle deltas** (a peer gained or evicted an object, or toggled
-//!   `sharing`) are reported by the simulation through
+//! * **oracle deltas** (a peer gained or evicted an object) are reported by
+//!   the simulation through
+//!   [`invalidate_holding`](RingCandidateCache::invalidate_holding); a
+//!   `sharing` toggle, which affects every object at once, uses the coarse
 //!   [`invalidate_peer`](RingCandidateCache::invalidate_peer);
 //! * **want deltas** at the root are caught by keying each entry on the exact
 //!   `wants` list it was computed for.
 //!
-//! An entry is dropped as soon as *any* peer in its search's dependency set
-//! ([`SearchTrace::deps`]) is invalidated.  Because the dependency set covers
-//! every peer whose incoming-request queue or holdings the search read, a
-//! cached hit is guaranteed to equal what a fresh [`exchange::RingSearch`]
-//! would return — the cache is a pure memoisation, never an approximation.
+//! # Invalidation granularity
+//!
+//! [`CacheGranularity`] selects how precisely deltas map onto dropped
+//! entries:
+//!
+//! * [`CacheGranularity::Provider`] (the original behaviour): a delta at
+//!   peer *q* drops **every** entry whose dependency set
+//!   ([`SearchTrace::deps`]) contains *q*, regardless of which aspect of *q*
+//!   changed.
+//! * [`CacheGranularity::Entry`] (the default): deltas are matched against
+//!   what each cached search actually *read* of *q*:
+//!   - an edge delta `(provider q, object o)` drops entries with *q* in
+//!     [`SearchTrace::edge_deps`] (the search read *q*'s incoming queue) or
+//!     with *q* in `deps` **and** *o* in the entry's wants (the `provides`
+//!     probe at *q* can read *q*'s incoming edges for a wanted object — the
+//!     middleman claim);
+//!   - a holdings delta `(q, o)` drops entries with *q* in `deps` **and**
+//!     *o* in the entry's wants — a peer completing or evicting an object
+//!     nobody's cached search wants kills nothing;
+//!   - requester-side edge endpoints drop nothing at all (a search never
+//!     reads outgoing queues).
+//!
+//! Either way a cached hit is guaranteed to equal what a fresh
+//! [`exchange::RingSearch`] would return — the cache is a pure memoisation,
+//! never an approximation; entry granularity is simply *strictly lazier*
+//! (it drops a subset of what provider granularity drops).
 
 use std::collections::{BTreeSet, HashMap};
 
 use exchange::{ExchangeRing, RequestGraph, SearchTrace};
+use serde::{Deserialize, Serialize};
 use workload::{ObjectId, PeerId};
+
+/// How precisely deltas map onto dropped cache entries (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CacheGranularity {
+    /// A delta at a peer drops every entry depending on that peer.
+    Provider,
+    /// Deltas are matched against the exact aspect — incoming queue vs
+    /// per-object holdings — each cached search read.
+    #[default]
+    Entry,
+}
+
+impl CacheGranularity {
+    /// The label used in configs and bench output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheGranularity::Provider => "provider",
+            CacheGranularity::Entry => "entry",
+        }
+    }
+}
 
 /// Hit/miss/invalidation counters of one cache over one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,8 +90,26 @@ struct Entry {
     wants: Vec<ObjectId>,
     /// The search result, in preference order.
     rings: Vec<ExchangeRing<PeerId, ObjectId>>,
-    /// The search's dependency set (sorted); mirrored in `dependents`.
+    /// The search's full dependency set (sorted); mirrored in `dependents`.
     deps: Vec<PeerId>,
+    /// The subset of `deps` whose incoming queues the search read (sorted).
+    edge_deps: Vec<PeerId>,
+}
+
+/// A borrowed view of one live cache entry (see
+/// [`RingCandidateCache::iter_entries`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CachedEntry<'a> {
+    /// The provider the entry's search was rooted at.
+    pub root: PeerId,
+    /// The root's wanted objects at the time of the search.
+    pub wants: &'a [ObjectId],
+    /// The cached candidate rings, in preference order.
+    pub rings: &'a [ExchangeRing<PeerId, ObjectId>],
+    /// The search's full dependency set.
+    pub deps: &'a [PeerId],
+    /// The peers whose incoming queues the search read.
+    pub edge_deps: &'a [PeerId],
 }
 
 /// Memoises [`exchange::RingSearch::find_traced`] results per provider.
@@ -52,17 +117,41 @@ struct Entry {
 /// See the [module docs](self) for the invalidation contract.
 #[derive(Debug, Default)]
 pub struct RingCandidateCache {
+    granularity: CacheGranularity,
     entries: HashMap<PeerId, Entry>,
     /// Reverse index: peer -> roots whose cached search depends on it.
     dependents: HashMap<PeerId, BTreeSet<PeerId>>,
+    /// Reverse index over [`Entry::edge_deps`]: peer -> roots whose cached
+    /// search read the peer's incoming queue.  An edge delta kills these
+    /// outright, no per-entry filtering.
+    edge_dependents: HashMap<PeerId, BTreeSet<PeerId>>,
+    /// Reverse index over [`Entry::wants`]: object -> roots whose cached
+    /// search probed for it.  Kept tiny (≤ max-pending objects per entry),
+    /// it turns the probe-side delta checks into small-set intersections.
+    want_index: HashMap<ObjectId, BTreeSet<PeerId>>,
     stats: RingCacheStats,
 }
 
 impl RingCandidateCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default (entry-level) granularity.
     #[must_use]
     pub fn new() -> Self {
         RingCandidateCache::default()
+    }
+
+    /// Creates an empty cache with the given invalidation granularity.
+    #[must_use]
+    pub fn with_granularity(granularity: CacheGranularity) -> Self {
+        RingCandidateCache {
+            granularity,
+            ..RingCandidateCache::default()
+        }
+    }
+
+    /// The invalidation granularity this cache runs at.
+    #[must_use]
+    pub fn granularity(&self) -> CacheGranularity {
+        self.granularity
     }
 
     /// Returns the cached candidate rings for `root`, if a live entry exists
@@ -86,6 +175,13 @@ impl RingCandidateCache {
     }
 
     /// Stores a fresh search result for `root`, replacing any prior entry.
+    ///
+    /// Index maintenance is granularity-specific: provider granularity
+    /// mirrors the *full* dependency set in its reverse index (the PR-2
+    /// design); entry granularity indexes only the (much smaller)
+    /// edge-dependency set and the wants — its per-object checks resolve
+    /// the remaining deps membership against the entry's own sorted `deps`
+    /// list, so storing an entry costs `O(edge_deps)` instead of `O(deps)`.
     pub fn store(
         &mut self,
         root: PeerId,
@@ -93,8 +189,20 @@ impl RingCandidateCache {
         trace: SearchTrace<PeerId, ObjectId>,
     ) {
         self.remove_entry(root);
-        for dep in &trace.deps {
-            self.dependents.entry(*dep).or_default().insert(root);
+        match self.granularity {
+            CacheGranularity::Provider => {
+                for dep in &trace.deps {
+                    self.dependents.entry(*dep).or_default().insert(root);
+                }
+            }
+            CacheGranularity::Entry => {
+                for dep in &trace.edge_deps {
+                    self.edge_dependents.entry(*dep).or_default().insert(root);
+                }
+                for object in &wants {
+                    self.want_index.entry(*object).or_default().insert(root);
+                }
+            }
         }
         self.entries.insert(
             root,
@@ -102,53 +210,208 @@ impl RingCandidateCache {
                 wants,
                 rings: trace.rings,
                 deps: trace.deps,
+                edge_deps: trace.edge_deps,
             },
         );
     }
 
-    /// Drops every entry whose search depended on `peer`.
+    /// Drops every entry whose search depended on `peer`, regardless of
+    /// granularity.
     ///
-    /// Call this when `peer`'s provision state changed: it gained or evicted
-    /// a stored object, or toggled its `sharing` flag.  Graph-edge changes
-    /// are handled separately by
-    /// [`apply_graph_deltas`](Self::apply_graph_deltas).
+    /// Call this for deltas that affect every object of `peer` at once (a
+    /// `sharing` toggle).  Per-object provision changes — the peer gained or
+    /// evicted one stored object — should go through the lazier
+    /// [`invalidate_holding`](Self::invalidate_holding); graph-edge changes
+    /// through [`apply_graph_deltas`](Self::apply_graph_deltas).
     pub fn invalidate_peer(&mut self, peer: PeerId) {
-        let Some(roots) = self.dependents.remove(&peer) else {
-            return;
+        let affected: Vec<PeerId> = match self.granularity {
+            CacheGranularity::Provider => match self.dependents.remove(&peer) {
+                Some(roots) => roots.into_iter().collect(),
+                None => return,
+            },
+            // Entry granularity keeps no full-deps reverse index; whole-peer
+            // kills are rare (sharing never toggles mid-run), so a scan over
+            // the live entries is the right trade.
+            CacheGranularity::Entry => self
+                .entries
+                .iter()
+                .filter(|(_, entry)| entry.deps.binary_search(&peer).is_ok())
+                .map(|(root, _)| *root)
+                .collect(),
         };
-        for root in roots {
+        for root in affected {
             if self.remove_entry(root) {
                 self.stats.invalidations += 1;
             }
         }
     }
 
-    /// Drains the graph's dirty set and invalidates every entry that depended
-    /// on a changed peer.  Cheap when nothing changed.
+    /// Reports that `peer` gained or lost the ability to serve `object`
+    /// (download completed, object evicted).
+    ///
+    /// At entry granularity this drops only the entries whose search probed
+    /// `peer` for `object`: `peer` is in the dependency set *and* `object`
+    /// is among the entry's wants (the `provides` oracle is only ever probed
+    /// for wanted objects).  At provider granularity it falls back to
+    /// [`invalidate_peer`](Self::invalidate_peer).
+    pub fn invalidate_holding(&mut self, peer: PeerId, object: ObjectId) {
+        if self.granularity == CacheGranularity::Provider {
+            self.invalidate_peer(peer);
+            return;
+        }
+        self.invalidate_claims(peer, object);
+    }
+
+    /// Drains the graph's dirty log and invalidates every entry a changed
+    /// edge could affect.  Cheap when nothing changed.
+    ///
+    /// At provider granularity every peer incident to a changed edge kills
+    /// all its dependents; at entry granularity each changed edge
+    /// `(provider, object)` kills only the entries that read the provider's
+    /// incoming queue ([`SearchTrace::edge_deps`]) or probed the provider for
+    /// that very object (a middleman claim backed by the edge).
     pub fn apply_graph_deltas(&mut self, graph: &mut RequestGraph<PeerId, ObjectId>) {
         if !graph.has_dirty() {
             return;
         }
-        for peer in graph.take_dirty() {
-            self.invalidate_peer(peer);
+        match self.granularity {
+            CacheGranularity::Provider => {
+                for peer in graph.take_dirty() {
+                    self.invalidate_peer(peer);
+                }
+            }
+            CacheGranularity::Entry => {
+                let edges = graph.take_dirty_edges();
+                self.apply_edge_deltas(&edges);
+            }
         }
     }
 
-    /// Removes `root`'s entry and unregisters its dependency links.
-    /// Returns whether an entry existed.
+    /// Entry-granularity invalidation for a drained batch of changed edges
+    /// (`(provider, requester, object)` triples, as returned by
+    /// [`RequestGraph::take_dirty_edges`]), treating every edge as affecting
+    /// the provider's full queue.
+    ///
+    /// Callers that know the fanout their searches ran at can do better:
+    /// an edge landing beyond the fanout prefix of the provider's queue can
+    /// only affect the provider's *own* entry (the root scan is unbounded)
+    /// and the per-object claim probes — see
+    /// [`invalidate_edge_readers`](Self::invalidate_edge_readers),
+    /// [`invalidate_root`](Self::invalidate_root) and
+    /// [`invalidate_claims`](Self::invalidate_claims), which the simulation's
+    /// drain composes per edge.
+    pub fn apply_edge_deltas(&mut self, edges: &BTreeSet<(PeerId, PeerId, ObjectId)>) {
+        let mut previous: Option<PeerId> = None;
+        for &(provider, _, object) in edges {
+            if previous != Some(provider) {
+                self.invalidate_edge_readers(provider);
+                previous = Some(provider);
+            }
+            self.invalidate_claims(provider, object);
+        }
+    }
+
+    /// Drops every entry whose search read `provider`'s incoming queue —
+    /// including the entry rooted at `provider` itself.  Call when an edge
+    /// changed inside the queue slice searches examine.
+    pub fn invalidate_edge_readers(&mut self, provider: PeerId) {
+        if let Some(roots) = self.edge_dependents.remove(&provider) {
+            for root in roots {
+                if self.remove_entry(root) {
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops only the entry rooted at `provider`.  Sufficient for an edge
+    /// that landed beyond the fanout prefix of `provider`'s queue: the root's
+    /// own scan is the only unbounded queue read.
+    pub fn invalidate_root(&mut self, provider: PeerId) {
+        if self.remove_entry(provider) {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops the entries whose search probed `provider` for `object` — the
+    /// footprint of one changed `(provider, object)` provision fact, be it a
+    /// holdings change or a middleman claim backed by an edge (claims scan
+    /// the whole queue, so this is independent of any fanout prefix).
+    ///
+    /// Candidates come from the small per-object want index; membership of
+    /// `provider` in each candidate's dependency set resolves against the
+    /// entry's own sorted `deps` list.
+    pub fn invalidate_claims(&mut self, provider: PeerId, object: ObjectId) {
+        let Some(wanting) = self.want_index.get(&object) else {
+            return;
+        };
+        let affected: Vec<PeerId> = wanting
+            .iter()
+            .copied()
+            .filter(|root| {
+                self.entries
+                    .get(root)
+                    .is_some_and(|entry| entry.deps.binary_search(&provider).is_ok())
+            })
+            .collect();
+        for root in affected {
+            if self.remove_entry(root) {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Removes `root`'s entry and unregisters its dependency links from the
+    /// indexes its granularity maintains.  Returns whether an entry existed.
     fn remove_entry(&mut self, root: PeerId) -> bool {
         let Some(entry) = self.entries.remove(&root) else {
             return false;
         };
-        for dep in &entry.deps {
-            if let Some(roots) = self.dependents.get_mut(dep) {
-                roots.remove(&root);
-                if roots.is_empty() {
-                    self.dependents.remove(dep);
+        match self.granularity {
+            CacheGranularity::Provider => {
+                for dep in &entry.deps {
+                    if let Some(roots) = self.dependents.get_mut(dep) {
+                        roots.remove(&root);
+                        if roots.is_empty() {
+                            self.dependents.remove(dep);
+                        }
+                    }
+                }
+            }
+            CacheGranularity::Entry => {
+                for dep in &entry.edge_deps {
+                    if let Some(roots) = self.edge_dependents.get_mut(dep) {
+                        roots.remove(&root);
+                        if roots.is_empty() {
+                            self.edge_dependents.remove(dep);
+                        }
+                    }
+                }
+                for object in &entry.wants {
+                    if let Some(roots) = self.want_index.get_mut(object) {
+                        roots.remove(&root);
+                        if roots.is_empty() {
+                            self.want_index.remove(object);
+                        }
+                    }
                 }
             }
         }
         true
+    }
+
+    /// Iterates over the live entries, in no particular order.
+    ///
+    /// Used by the invariant audit to re-verify every cached search against
+    /// a fresh one; the views borrow the cache.
+    pub fn iter_entries(&self) -> impl Iterator<Item = CachedEntry<'_>> {
+        self.entries.iter().map(|(root, entry)| CachedEntry {
+            root: *root,
+            wants: &entry.wants,
+            rings: &entry.rings,
+            deps: &entry.deps,
+            edge_deps: &entry.edge_deps,
+        })
     }
 
     /// Number of live entries.
@@ -173,6 +436,8 @@ impl RingCandidateCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.dependents.clear();
+        self.edge_dependents.clear();
+        self.want_index.clear();
     }
 }
 
@@ -286,6 +551,89 @@ mod tests {
         graph.add_request(peer(4), peer(1), object(50));
         cache.apply_graph_deltas(&mut graph);
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn holding_delta_for_an_unwanted_object_is_ignored_at_entry_granularity() {
+        let graph = fixture();
+        let mut entry_cache = RingCandidateCache::with_granularity(CacheGranularity::Entry);
+        let mut provider_cache = RingCandidateCache::with_granularity(CacheGranularity::Provider);
+        let wants = vec![object(30)];
+        for cache in [&mut entry_cache, &mut provider_cache] {
+            cache.store(
+                peer(0),
+                wants.clone(),
+                search().find_traced(&graph, peer(0), &wants, owns_o30),
+            );
+        }
+        // Peer 2 completes object 77, which no cached root wants.
+        entry_cache.invalidate_holding(peer(2), object(77));
+        provider_cache.invalidate_holding(peer(2), object(77));
+        assert_eq!(entry_cache.len(), 1, "unwanted holding kills nothing");
+        assert_eq!(entry_cache.stats().invalidations, 0);
+        assert!(provider_cache.is_empty(), "provider granularity nukes");
+        assert_eq!(provider_cache.stats().invalidations, 1);
+        // A wanted holding kills the entry in both modes.
+        entry_cache.invalidate_holding(peer(2), object(30));
+        assert!(entry_cache.is_empty());
+        assert_eq!(entry_cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn requester_side_edge_deltas_are_ignored_at_entry_granularity() {
+        let mut graph = fixture();
+        let mut cache = RingCandidateCache::with_granularity(CacheGranularity::Entry);
+        let wants = vec![object(30)];
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        let rings = trace.rings.clone();
+        cache.store(peer(0), wants.clone(), trace);
+        // Peer 2 (a dep) issues a request towards an unrelated provider for
+        // an unwanted object: only 2's outgoing queue and 9's incoming queue
+        // change, neither of which the cached search read.
+        graph.add_request(peer(2), peer(9), object(90));
+        cache.apply_graph_deltas(&mut graph);
+        assert_eq!(cache.lookup(peer(0), &wants), Some(rings.as_slice()));
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn edge_delta_for_a_wanted_object_at_a_probed_peer_invalidates() {
+        // Middleman scenario: a probed peer's claim on a wanted object can be
+        // backed by its incoming edges, so such an edge delta must kill the
+        // entry even though the peer's queue was never read for expansion.
+        let mut graph = RequestGraph::new();
+        graph.add_request(peer(1), peer(0), object(10));
+        graph.add_request(peer(2), peer(1), object(20));
+        graph.take_dirty();
+        let shallow = RingSearch::new(SearchPolicy::new(3, RingPreference::ShorterFirst));
+        let mut cache = RingCandidateCache::with_granularity(CacheGranularity::Entry);
+        let wants = vec![object(30)];
+        let trace = shallow.find_traced(&graph, peer(0), &wants, owns_o30);
+        // Peer 2 sits at the depth bound: probed, but its queue never read.
+        assert!(trace.deps.contains(&peer(2)));
+        assert!(!trace.edge_deps.contains(&peer(2)));
+        cache.store(peer(0), wants.clone(), trace);
+        // An edge at peer 2 for the wanted object 30 must invalidate...
+        graph.add_request(peer(5), peer(2), object(30));
+        cache.apply_graph_deltas(&mut graph);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn iter_entries_exposes_the_stored_traces() {
+        let graph = fixture();
+        let mut cache = RingCandidateCache::new();
+        let wants = vec![object(30)];
+        let trace = search().find_traced(&graph, peer(0), &wants, owns_o30);
+        cache.store(peer(0), wants.clone(), trace.clone());
+        let entries: Vec<_> = cache.iter_entries().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].root, peer(0));
+        assert_eq!(entries[0].wants, wants.as_slice());
+        assert_eq!(entries[0].rings, trace.rings.as_slice());
+        assert_eq!(entries[0].deps, trace.deps.as_slice());
+        assert_eq!(entries[0].edge_deps, trace.edge_deps.as_slice());
     }
 
     #[test]

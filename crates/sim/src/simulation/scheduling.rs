@@ -70,7 +70,7 @@ impl Simulation {
         // feasible exchange rather than exhaustively probing every proposal.
         let attempts = self.config.ring_attempts_per_schedule;
         let candidates: Vec<ExchangeRing<PeerId, ObjectId>> = if self.config.ring_candidate_cache {
-            self.ring_cache.apply_graph_deltas(&mut self.graph);
+            self.drain_graph_deltas();
             if let Some(rings) = self.ring_cache.lookup(provider, &wants) {
                 rings.iter().take(attempts).cloned().collect()
             } else {
@@ -92,7 +92,87 @@ impl Simulation {
         false
     }
 
-    /// Runs one fresh ring search rooted at `provider`.
+    /// Drains the request graph's dirty log into the ring-candidate cache
+    /// and the search scratch, at the configured granularity.
+    ///
+    /// At entry granularity the `(provider, object)` edge view drives both
+    /// consumers: the cache drops only the entries whose search read a
+    /// changed aspect, and the scratch's adjacency snapshot *advances* —
+    /// forgetting only the queues that actually changed, so hub peers'
+    /// materialised queues stay warm across mutations.  At provider
+    /// granularity (the PR-2 baseline semantics) the peer view nukes
+    /// coarsely and the snapshot is left to reset wholesale on its next
+    /// generation check.
+    pub(super) fn drain_graph_deltas(&mut self) {
+        if !self.graph.has_dirty() {
+            return;
+        }
+        match self.ring_cache.granularity() {
+            super::CacheGranularity::Provider => {
+                self.ring_cache.apply_graph_deltas(&mut self.graph);
+                self.drained_generation = self.graph.generation();
+            }
+            super::CacheGranularity::Entry => {
+                let edges = self.graph.take_dirty_edges();
+                let to = self.graph.generation();
+                // Edges back claims only for behaviors that advertise
+                // unstored objects; without middlemen in the population the
+                // whole probe-side pass is provably irrelevant.
+                let edges_back_claims = !self.advertisers.is_empty();
+                let mut scratch_updates: Vec<(PeerId, bool)> = Vec::new();
+                for &(provider, requester, object) in &edges {
+                    if scratch_updates.last().map(|(p, _)| *p) != Some(provider) {
+                        // First — therefore smallest — changed edge of this
+                        // provider's group: every queue entry sorting before
+                        // it is untouched by the whole batch, so the
+                        // fanout-bounded prefix interior expansions read
+                        // survives iff `fanout` untouched entries precede it.
+                        let prefix_changed =
+                            self.edge_in_search_prefix(provider, requester, object);
+                        if prefix_changed {
+                            self.ring_cache.invalidate_edge_readers(provider);
+                        } else {
+                            self.ring_cache.invalidate_root(provider);
+                        }
+                        scratch_updates.push((provider, prefix_changed));
+                    }
+                    if edges_back_claims {
+                        // Claim probes scan the whole queue; prefix position
+                        // is irrelevant to them.
+                        self.ring_cache.invalidate_claims(provider, object);
+                    }
+                }
+                self.scratch
+                    .advance(self.drained_generation, to, scratch_updates);
+                self.drained_generation = to;
+            }
+        }
+    }
+
+    /// Whether fewer than `ring_search_fanout` entries of `provider`'s
+    /// current incoming queue sort before the changed edge
+    /// `(requester, object)` — i.e. whether the change can reach the queue
+    /// prefix a depth-limited search expands.  Entries before the edge are
+    /// unaffected by adding or removing it, so `fanout` of them shield the
+    /// prefix entirely.
+    fn edge_in_search_prefix(&self, provider: PeerId, requester: PeerId, object: ObjectId) -> bool {
+        let fanout = self.config.ring_search_fanout;
+        let mut smaller = 0usize;
+        for req in self.graph.incoming(provider) {
+            if (req.requester, req.object) >= (requester, object) {
+                break;
+            }
+            smaller += 1;
+            if smaller >= fanout {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs one fresh ring search rooted at `provider`, inside the
+    /// simulation's shared [`exchange::SearchScratch`] so consecutive
+    /// searches of a round reuse their buffers and adjacency snapshot.
     ///
     /// A peer in the request tree can close a ring if it shares and *claims*
     /// an object the provider wants — its advertised holdings, which for a
@@ -101,17 +181,32 @@ impl Simulation {
     /// against what the peers in its request tree advertise; it is not
     /// limited to the providers its own lookups sampled.)
     fn search_rings(
-        &self,
+        &mut self,
         policy: exchange::SearchPolicy,
         provider: PeerId,
         wants: &[ObjectId],
     ) -> exchange::SearchTrace<PeerId, ObjectId> {
-        RingSearch::new(policy)
+        // The scratch is taken out of `self` for the duration of the search
+        // so the `claims` oracle can borrow the rest of the simulation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let start = self.profile_searches.then(std::time::Instant::now);
+        let trace = RingSearch::new(policy)
             .with_expansion_budget(self.config.ring_search_budget)
             .with_fanout(self.config.ring_search_fanout)
-            .find_traced(&self.graph, provider, wants, |peer, object| {
-                self.claims(*peer, *object)
-            })
+            .find_traced_in(
+                &mut scratch,
+                &self.graph,
+                provider,
+                wants,
+                |peer, object| self.claims(*peer, *object),
+            );
+        if let Some(start) = start {
+            self.ring_search_nanos
+                .set(self.ring_search_nanos.get() + start.elapsed().as_nanos() as u64);
+            self.ring_searches.set(self.ring_searches.get() + 1);
+        }
+        self.scratch = scratch;
+        trace
     }
 
     /// Whether `peer` could take on the upload described by `edge` as part of

@@ -318,10 +318,12 @@ impl Simulation {
             // The object enters the downloader's store (it may be evicted
             // later by the periodic maintenance pass).  The downloader can
             // now close rings it could not before, so any cached search that
-            // probed it is stale.  Ciphertext never enters storage: the
+            // probed it *for this object* is stale — entries wanting other
+            // objects survive.  Ciphertext never enters storage: the
             // downloader holds bytes it cannot decrypt, let alone re-serve.
             self.peer_mut(downloader).storage.insert(object);
-            self.ring_cache.invalidate_peer(downloader);
+            self.index_holding_gained(downloader, object);
+            self.ring_cache.invalidate_holding(downloader, object);
         }
 
         // Terminate every session that was delivering this object.
@@ -378,8 +380,19 @@ impl Simulation {
                 self.dissolve_ring(ring_id);
             }
         }
-        // The freed upload slot can immediately be refilled.
         if reason != SessionEnd::HorizonReached {
+            // Session end is when both sides (re-)announce their
+            // participation level, filtered through their behavior.  Without
+            // this, a peer that never uploads only reports when it registers
+            // a new request, and an uploader's behavior-mediated announcement
+            // is clobbered by the honest bookkeeping of
+            // `UploadScheduler::on_transfer_complete` until then.
+            for peer in [transfer.uploader, transfer.downloader] {
+                let honest = self.peer(peer).uploaded_bytes as f64 / (1024.0 * 1024.0);
+                let announced = self.behavior(peer).reported_participation(honest);
+                self.scheduler.on_participation_report(peer, announced);
+            }
+            // The freed upload slot can immediately be refilled.
             self.engine
                 .schedule_now(Event::TrySchedule(transfer.uploader));
         }

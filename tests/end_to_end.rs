@@ -140,6 +140,21 @@ fn runs_are_deterministic_across_identical_configs() {
     );
 }
 
+/// With `--features audit`, one loaded end-to-end run is driven through the
+/// between-events invariant checker: every event must leave slot accounting,
+/// transfer provision, ring structure, byte conservation and the ring-cache
+/// entries consistent, and the final report must balance.
+#[cfg(feature = "audit")]
+#[test]
+fn loaded_run_survives_the_invariant_audit() {
+    let mut config = loaded_config();
+    config.num_peers = 24;
+    config.sim_duration_s = 1_200.0;
+    config.discipline = ExchangePolicy::two_five_way();
+    let report = Simulation::new(config, 11).run_audited();
+    assert!(report.completed_downloads() > 0);
+}
+
 #[test]
 fn all_sharing_population_still_functions() {
     let mut config = loaded_config();

@@ -1,0 +1,62 @@
+//! Golden snapshot tests for the PR-3 `SweepGrid` export format.
+//!
+//! The JSON/CSV writers are hand-rolled (the workspace's serde is an offline
+//! stub), so nothing type-checks their output shape; these exact-string
+//! fixtures pin the column set, key names, nesting and number formatting.
+//! A legitimate format change regenerates them with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test sweep_grid_golden`.
+
+use std::path::PathBuf;
+
+use p2p_exchange::sim::{Axis, Scenario, SimConfig};
+
+/// The fixed grid behind both snapshots: small, fast and fully
+/// deterministic (the simulator is seeded; the scenario engine's row order
+/// is independent of thread scheduling).
+fn golden_grid() -> p2p_exchange::sim::SweepGrid {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 12;
+    config.sim_duration_s = 900.0;
+    Scenario::from(config)
+        .vary(Axis::UploadKbps(vec![60.0, 100.0]))
+        .seeds(0..2)
+        .run()
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn assert_matches_fixture(actual: &str, name: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\nregenerate with UPDATE_SNAPSHOTS=1 \
+             cargo test --test sweep_grid_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its checked-in snapshot; if the change is \
+         intentional, regenerate with UPDATE_SNAPSHOTS=1 cargo test --test \
+         sweep_grid_golden"
+    );
+}
+
+#[test]
+fn json_export_matches_the_checked_in_snapshot() {
+    assert_matches_fixture(&golden_grid().to_json_string(), "sweep_grid.json");
+}
+
+#[test]
+fn csv_export_matches_the_checked_in_snapshot() {
+    assert_matches_fixture(&golden_grid().to_csv_string(), "sweep_grid.csv");
+}
