@@ -94,7 +94,7 @@ fn bench_cached_vs_fresh(c: &mut Criterion) {
         })
         .collect();
     // Ownership oracle: a third of (peer, object) pairs provide.
-    let provides = |p: &PeerId, o: &ObjectId| (p.as_usize() + o.as_usize()).is_multiple_of(3);
+    let provides = |p: &PeerId, o: &ObjectId| (p.as_usize() + o.as_usize()) % 3 == 0;
     // Pre-drawn deltas so both variants replay the identical mutation stream.
     let mut rng = DetRng::seed_from(11);
     let deltas: Vec<(PeerId, PeerId, ObjectId)> = (0..ROUNDS / DELTA_EVERY + 1)

@@ -1,32 +1,33 @@
 //! Scale tier of the `end_to_end` benchmark: whole simulation runs at
-//! 1k / 5k / 10k peers, with per-phase wall-clock timings and two speedup
-//! figures per tier.
+//! 1k / 5k / 10k / 100k peers, with per-phase wall-clock timings and named
+//! speedup figures per tier.
 //!
-//! Each tier runs the same seeded workload twice:
+//! Each tier runs the same seeded workload in up to three modes:
 //!
 //! * **provider-cold** — ring-cache invalidation at provider granularity
-//!   and a cold `Simulation::new` per seed;
+//!   and a cold `Simulation::new` per seed (skipped at the 100k tier, where
+//!   the provider-granularity engine is pointlessly slow);
 //! * **entry-warm** — entry-level invalidation plus a shared [`SimSetup`]
-//!   across seeds (warm restarts).
+//!   across seeds (warm restarts);
+//! * **entry-warm-sharded** — entry-warm with `SimConfig::shards` set from
+//!   `--shards N` (only when N > 1).  The bench asserts the sharded report
+//!   is **bit-identical** to entry-warm on the shared seed — the nightly CI
+//!   workflow runs exactly this assertion at the 10k tier.
 //!
-//! `speedup` compares the two (isolating what cache granularity + warm
-//! restarts buy within this engine); `speedup_vs_pr3` compares `entry-warm`
-//! against an externally measured run of the PR-3 engine
-//! (provider-granularity cache, O(peers) provider lookups, no search
-//! scratch) on the identical workload and seed, passed in via
-//! `--baseline <tier>=<secs>`.
-//!
-//! The first seed's reports must be identical between the modes (both cache
-//! granularities are exact memoisations and the warm setup seed equals the
-//! first run seed) — the bench asserts this, so the headline speedup can
-//! never come from computing something different.
+//! `speedup` compares provider-cold to entry-warm (what cache granularity +
+//! warm restarts buy); `speedup_sharded` compares entry-warm to the sharded
+//! mode (what the scoped worker pool buys — meaningful only on multi-core
+//! hosts, so the JSON also records `host_parallelism`); `speedup_vs_pr3`
+//! compares entry-warm against an externally measured PR-3-engine run
+//! passed in via `--baseline <tier>=<secs>`.
 //!
 //! Usage (a bare `cargo bench` only smoke-compiles; the tiers are explicit):
 //!
 //! ```text
 //! cargo bench --bench scale -- --tier 1k                 # CI smoke tier
 //! cargo bench --bench scale -- --tier full --out BENCH_scale.json
-//! cargo bench --bench scale -- --tier 10k --seeds 3
+//! cargo bench --bench scale -- --tier 10k --seeds 1 --shards 8
+//! cargo bench --bench scale -- --tier 100k --shards 8    # always 1 seed
 //! ```
 //!
 //! `--object-mb <n>` (default 1) and `--duration <secs>` (default 1800)
@@ -50,7 +51,7 @@ struct RunMeasurement {
     report: SimReport,
 }
 
-/// One mode (cache granularity × restart strategy) over all seeds.
+/// One mode (cache granularity × restart strategy × shards) over all seeds.
 struct ModeMeasurement {
     name: &'static str,
     runs: Vec<RunMeasurement>,
@@ -74,19 +75,38 @@ struct TierMeasurement {
 }
 
 impl TierMeasurement {
-    fn speedup(&self) -> f64 {
-        let baseline = self.modes[0].wall().as_secs_f64();
-        let improved = self.modes[1].wall().as_secs_f64();
-        if improved > 0.0 {
-            baseline / improved
+    fn mode(&self, name: &str) -> Option<&ModeMeasurement> {
+        self.modes.iter().find(|m| m.name == name)
+    }
+
+    fn ratio(slow: &ModeMeasurement, fast: &ModeMeasurement) -> f64 {
+        let fast_wall = fast.wall().as_secs_f64();
+        if fast_wall > 0.0 {
+            slow.wall().as_secs_f64() / fast_wall
         } else {
             f64::INFINITY
         }
     }
 
+    /// Entry-warm over provider-cold (cache granularity + warm restarts).
+    fn speedup(&self) -> Option<f64> {
+        Some(Self::ratio(
+            self.mode("provider-cold")?,
+            self.mode("entry-warm")?,
+        ))
+    }
+
+    /// Sharded entry-warm over sequential entry-warm.
+    fn speedup_sharded(&self) -> Option<f64> {
+        Some(Self::ratio(
+            self.mode("entry-warm")?,
+            self.mode("entry-warm-sharded")?,
+        ))
+    }
+
     /// Speedup of the entry-warm engine's first run over the PR-3 engine.
     fn speedup_vs_pr3(&self) -> Option<f64> {
-        let first = &self.modes[1].runs[0];
+        let first = &self.mode("entry-warm")?.runs[0];
         let mine = (first.setup + first.run).as_secs_f64();
         self.baseline_pr3_s.filter(|_| mine > 0.0).map(|b| b / mine)
     }
@@ -99,6 +119,7 @@ struct TierOptions {
     duration_s: f64,
     budget: usize,
     fanout: usize,
+    shards: usize,
 }
 
 /// The simulated system at `peers` peers: Table II parameters with a horizon
@@ -107,7 +128,7 @@ struct TierOptions {
 /// search bounded the way a production deployment at this scale must bound
 /// it — a tight expansion budget and fanout keep the per-search cost and the
 /// dependency footprint of cached searches independent of the population.
-/// Identical for both modes of a tier.
+/// Identical for all modes of a tier.
 fn tier_config(peers: usize, options: TierOptions) -> SimConfig {
     let mut config = SimConfig::paper_defaults();
     config.num_peers = peers;
@@ -119,6 +140,45 @@ fn tier_config(peers: usize, options: TierOptions) -> SimConfig {
     config
 }
 
+fn measure_run(
+    name: &str,
+    config: &SimConfig,
+    setup: Option<&SimSetup>,
+    seed: u64,
+) -> RunMeasurement {
+    let started = Instant::now();
+    let simulation = match setup {
+        Some(shared) => Simulation::from_setup(config.clone(), shared, seed),
+        None => Simulation::new(config.clone(), seed),
+    };
+    let setup_time = started.elapsed();
+    let started = Instant::now();
+    let (report, profile) = simulation.run_profiled();
+    let run = started.elapsed();
+    eprintln!(
+        "   {name:<22} seed {seed}: setup {:.2}s run {:.2}s ({} events)",
+        setup_time.as_secs_f64(),
+        run.as_secs_f64(),
+        profile.events
+    );
+    RunMeasurement {
+        seed,
+        setup: setup_time,
+        run,
+        profile,
+        report,
+    }
+}
+
+fn fingerprint(report: &SimReport) -> (u64, u64, u64, sim::RingCacheStats) {
+    (
+        report.completed_downloads(),
+        report.total_sessions(),
+        report.total_rings(),
+        report.ring_cache_stats(),
+    )
+}
+
 fn run_tier(
     label: &'static str,
     peers: usize,
@@ -126,99 +186,119 @@ fn run_tier(
     options: TierOptions,
 ) -> TierMeasurement {
     let config = tier_config(peers, options);
+    // The 100k tier runs one seed and skips the provider-cold mode: at 10⁵
+    // peers the provider-granularity engine adds tens of minutes without
+    // telling us anything the 10k tier did not.
+    let heavy = peers >= 100_000;
+    let seeds: Vec<u64> = if heavy {
+        vec![seeds[0]]
+    } else {
+        seeds.to_vec()
+    };
     eprintln!("== tier {label}: {peers} peers, {} seeds ==", seeds.len());
 
-    let mut provider_config = config.clone();
-    provider_config.ring_cache_granularity = CacheGranularity::Provider;
-    let provider_cold = ModeMeasurement {
-        name: "provider-cold",
-        runs: seeds
-            .iter()
-            .map(|&seed| {
-                let started = Instant::now();
-                let simulation = Simulation::new(provider_config.clone(), seed);
-                let setup = started.elapsed();
-                let started = Instant::now();
-                let (report, profile) = simulation.run_profiled();
-                let run = started.elapsed();
-                eprintln!(
-                    "   provider-cold seed {seed}: setup {:.2}s run {:.2}s ({} events)",
-                    setup.as_secs_f64(),
-                    run.as_secs_f64(),
-                    profile.events
-                );
-                RunMeasurement {
-                    seed,
-                    setup,
-                    run,
-                    profile,
-                    report,
-                }
-            })
-            .collect(),
-    };
+    let mut modes = Vec::new();
+    if !heavy {
+        let mut provider_config = config.clone();
+        provider_config.ring_cache_granularity = CacheGranularity::Provider;
+        modes.push(ModeMeasurement {
+            name: "provider-cold",
+            runs: seeds
+                .iter()
+                .map(|&seed| measure_run("provider-cold", &provider_config, None, seed))
+                .collect(),
+        });
+    }
 
     let mut entry_config = config.clone();
     entry_config.ring_cache_granularity = CacheGranularity::Entry;
     let started = Instant::now();
     let shared_setup = SimSetup::generate(&entry_config, seeds[0]);
     let shared_setup_time = started.elapsed();
-    let entry_warm = ModeMeasurement {
+    let entry_runs: Vec<RunMeasurement> = seeds
+        .iter()
+        .enumerate()
+        .map(|(index, &seed)| {
+            // The shared setup is generated once; only the first seed's row
+            // carries its cost.
+            let mut run = measure_run("entry-warm", &entry_config, Some(&shared_setup), seed);
+            if index == 0 {
+                run.setup += shared_setup_time;
+            }
+            run
+        })
+        .collect();
+    modes.push(ModeMeasurement {
         name: "entry-warm",
-        runs: seeds
-            .iter()
-            .enumerate()
-            .map(|(index, &seed)| {
-                // The shared setup is generated once; only the first seed's
-                // row carries its cost.
-                let started = Instant::now();
-                let simulation = Simulation::from_setup(entry_config.clone(), &shared_setup, seed);
-                let mut setup = started.elapsed();
-                if index == 0 {
-                    setup += shared_setup_time;
-                }
-                let started = Instant::now();
-                let (report, profile) = simulation.run_profiled();
-                let run = started.elapsed();
-                eprintln!(
-                    "   entry-warm    seed {seed}: setup {:.2}s run {:.2}s ({} events)",
-                    setup.as_secs_f64(),
-                    run.as_secs_f64(),
-                    profile.events
-                );
-                RunMeasurement {
-                    seed,
-                    setup,
-                    run,
-                    profile,
-                    report,
-                }
-            })
-            .collect(),
-    };
+        runs: entry_runs,
+    });
 
-    // Exactness guard: on the shared setup seed both modes simulate the
-    // identical system, so their reports must agree bit for bit.
-    let a = &provider_cold.runs[0].report;
-    let b = &entry_warm.runs[0].report;
-    assert_eq!(
-        (a.completed_downloads(), a.total_sessions(), a.total_rings()),
-        (b.completed_downloads(), b.total_sessions(), b.total_rings()),
-        "tier {label}: the two modes diverged on the shared seed — the cache \
-         or warm restart is no longer exact"
-    );
+    if options.shards > 1 {
+        let mut sharded_config = entry_config.clone();
+        sharded_config.shards = options.shards;
+        let runs: Vec<RunMeasurement> = seeds
+            .iter()
+            .map(|&seed| {
+                measure_run(
+                    "entry-warm-sharded",
+                    &sharded_config,
+                    Some(&shared_setup),
+                    seed,
+                )
+            })
+            .collect();
+        modes.push(ModeMeasurement {
+            name: "entry-warm-sharded",
+            runs,
+        });
+    }
 
     let tier = TierMeasurement {
         label,
         peers,
         config,
-        modes: vec![provider_cold, entry_warm],
+        modes,
         baseline_pr3_s: None,
     };
-    eprintln!(
-        "   speedup (entry-warm over provider-cold): {:.2}x",
-        tier.speedup()
-    );
+
+    // Exactness guards: on the shared setup seed every mode simulates the
+    // identical system, so all reports must agree bit for bit.
+    let entry = &tier.mode("entry-warm").expect("always measured").runs[0];
+    if let Some(provider) = tier.mode("provider-cold") {
+        assert_eq!(
+            (
+                provider.runs[0].report.completed_downloads(),
+                provider.runs[0].report.total_sessions(),
+                provider.runs[0].report.total_rings()
+            ),
+            (
+                entry.report.completed_downloads(),
+                entry.report.total_sessions(),
+                entry.report.total_rings()
+            ),
+            "tier {label}: granularities diverged on the shared seed — the \
+             cache or warm restart is no longer exact"
+        );
+    }
+    if let Some(sharded) = tier.mode("entry-warm-sharded") {
+        assert_eq!(
+            fingerprint(&sharded.runs[0].report),
+            fingerprint(&entry.report),
+            "tier {label}: the sharded report diverged from the sequential \
+             engine on the shared seed — the deterministic merge is broken"
+        );
+        eprintln!("   sharded report bit-identical to sequential: ok");
+    }
+
+    if let Some(speedup) = tier.speedup() {
+        eprintln!("   speedup (entry-warm over provider-cold): {speedup:.2}x");
+    }
+    if let Some(speedup) = tier.speedup_sharded() {
+        eprintln!(
+            "   speedup (shards={} over sequential): {speedup:.2}x",
+            options.shards
+        );
+    }
     tier
 }
 
@@ -226,21 +306,28 @@ fn phase_json(profile: &PhaseProfile) -> String {
     format!(
         "{{\"events\":{},\"event_loop_s\":{:.3},\"generate_requests_s\":{:.3},\
          \"scheduling_s\":{:.3},\"ring_search_s\":{:.3},\"ring_searches\":{},\
-         \"transfers_s\":{:.3},\"maintenance_s\":{:.3}}}",
+         \"shard_planning_s\":{:.3},\"transfers_s\":{:.3},\"maintenance_s\":{:.3}}}",
         profile.events,
         profile.event_loop.as_secs_f64(),
         profile.generate_requests.as_secs_f64(),
         profile.scheduling.as_secs_f64(),
         profile.ring_search.as_secs_f64(),
         profile.ring_searches,
+        profile.shard_planning.as_secs_f64(),
         profile.transfers.as_secs_f64(),
         profile.maintenance.as_secs_f64(),
     )
 }
 
-fn to_json(tiers: &[TierMeasurement], seeds: usize) -> String {
+fn to_json(tiers: &[TierMeasurement], seeds: usize, shards: usize) -> String {
+    let host_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::new();
-    let _ = write!(out, "{{\"bench\":\"scale\",\"seeds\":{seeds},\"tiers\":[");
+    let _ = write!(
+        out,
+        "{{\"bench\":\"scale\",\"seeds\":{seeds},\"shards\":{shards},\
+         \"host_parallelism\":{host_parallelism},\"tiers\":["
+    );
     for (t, tier) in tiers.iter().enumerate() {
         if t > 0 {
             out.push(',');
@@ -287,7 +374,13 @@ fn to_json(tiers: &[TierMeasurement], seeds: usize) -> String {
             }
             let _ = write!(out, "]}}");
         }
-        let _ = write!(out, "],\"speedup\":{:.3}", tier.speedup());
+        let _ = write!(out, "]");
+        if let Some(speedup) = tier.speedup() {
+            let _ = write!(out, ",\"speedup\":{speedup:.3}");
+        }
+        if let Some(speedup) = tier.speedup_sharded() {
+            let _ = write!(out, ",\"speedup_sharded\":{speedup:.3}");
+        }
         if let (Some(baseline), Some(vs)) = (tier.baseline_pr3_s, tier.speedup_vs_pr3()) {
             let _ = write!(
                 out,
@@ -310,6 +403,7 @@ fn main() {
         duration_s: 1_800.0,
         budget: 512,
         fanout: 8,
+        shards: 1,
     };
     let mut baselines: Vec<(String, f64)> = Vec::new();
     let mut i = 0;
@@ -327,6 +421,14 @@ fn main() {
                 if let Ok(n) = v.parse::<u64>() {
                     if n >= 1 {
                         seeds = n;
+                    }
+                }
+                i += 1;
+            }
+            ("--shards", Some(v)) => {
+                if let Ok(n) = v.parse::<usize>() {
+                    if n >= 1 {
+                        options.shards = n;
                     }
                 }
                 i += 1;
@@ -379,8 +481,8 @@ fn main() {
         // `cargo bench` with no arguments (or `--no-run`) must stay cheap:
         // the tiers run minutes each and are requested explicitly.
         eprintln!(
-            "scale bench: pass `-- --tier 1k|5k|10k|full [--seeds n] [--out BENCH_scale.json]` \
-             to run a tier; doing nothing."
+            "scale bench: pass `-- --tier 1k|5k|10k|100k|full [--seeds n] [--shards n] \
+             [--out BENCH_scale.json]` to run a tier; doing nothing."
         );
         return;
     };
@@ -390,9 +492,10 @@ fn main() {
         "1k" => vec![("1k", 1_000)],
         "5k" => vec![("5k", 5_000)],
         "10k" => vec![("10k", 10_000)],
+        "100k" => vec![("100k", 100_000)],
         "full" => vec![("1k", 1_000), ("5k", 5_000), ("10k", 10_000)],
         other => {
-            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|full)");
+            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|100k|full)");
             std::process::exit(2);
         }
     };
@@ -412,7 +515,7 @@ fn main() {
         })
         .collect();
 
-    let json = to_json(&tiers, seed_list.len());
+    let json = to_json(&tiers, seed_list.len(), options.shards);
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| {

@@ -1,0 +1,390 @@
+//! CI bench-regression gate.
+//!
+//! Compares the per-phase wall-clock timings of a fresh `scale` bench run
+//! (the CI 1k smoke) against the checked-in `BENCH_scale.json` baseline and
+//! exits non-zero when any phase regressed by more than the tolerance —
+//! turning the benchmark trajectory from a write-only artifact into an
+//! enforced gate.
+//!
+//! ```text
+//! cargo run --release -p exchange-bench --bin bench_gate -- \
+//!     --baseline BENCH_scale.json --current /tmp/bench_scale_smoke.json \
+//!     [--tier 1k] [--mode entry-warm] [--tolerance 0.25] [--min-phase-s 0.05]
+//! ```
+//!
+//! Phase values are averaged across each file's runs, so a 1-seed smoke is
+//! comparable against a 2-seed baseline.  Phases below `--min-phase-s` in
+//! *both* files are skipped (micro-phases are noise-dominated), and only
+//! keys present in both files are compared, so adding a phase to the
+//! profile never breaks the gate against an older baseline.  The
+//! `BENCH_GATE_TOLERANCE` environment variable overrides `--tolerance`
+//! (escape hatch for known-noisy runners without a code change).
+//!
+//! The workspace has no JSON dependency (serde is an offline stub), so a
+//! ~90-line recursive-descent parser lives below; it accepts exactly the
+//! JSON subset the scale bench emits.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ---- minimal JSON value ----------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing input at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The bench writer never emits escapes beyond these.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+// ---- gate logic ------------------------------------------------------------
+
+/// Per-phase mean seconds of one (tier, mode) across its runs, `run_s`
+/// included under the pseudo-phase name `run`.
+fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<BTreeMap<String, f64>, String> {
+    let tiers = root
+        .get("tiers")
+        .and_then(Json::as_array)
+        .ok_or("no 'tiers' array")?;
+    let tier_obj = tiers
+        .iter()
+        .find(|t| t.get("tier").and_then(Json::as_str) == Some(tier))
+        .ok_or_else(|| format!("tier '{tier}' not present"))?;
+    let modes = tier_obj
+        .get("modes")
+        .and_then(Json::as_array)
+        .ok_or("no 'modes' array")?;
+    let mode_obj = modes
+        .iter()
+        .find(|m| m.get("mode").and_then(Json::as_str) == Some(mode))
+        .ok_or_else(|| format!("mode '{mode}' not present in tier '{tier}'"))?;
+    let runs = mode_obj
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("no 'runs' array")?;
+    if runs.is_empty() {
+        return Err(format!("tier '{tier}' mode '{mode}' has no runs"));
+    }
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for run in runs {
+        if let Some(run_s) = run.get("run_s").and_then(Json::as_f64) {
+            let entry = sums.entry("run".into()).or_default();
+            entry.0 += run_s;
+            entry.1 += 1;
+        }
+        let Some(Json::Object(phases)) = run.get("phases") else {
+            continue;
+        };
+        for (key, value) in phases {
+            let Some(seconds) = value.as_f64() else {
+                continue;
+            };
+            if let Some(name) = key.strip_suffix("_s") {
+                let entry = sums.entry(name.to_string()).or_default();
+                entry.0 += seconds;
+                entry.1 += 1;
+            }
+        }
+    }
+    Ok(sums
+        .into_iter()
+        .map(|(name, (sum, n))| (name, sum / n as f64))
+        .collect())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline <BENCH_scale.json> --current <smoke.json> \
+         [--tier 1k] [--mode entry-warm] [--tolerance 0.25] [--min-phase-s 0.05]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut tier = "1k".to_string();
+    let mut mode = "entry-warm".to_string();
+    let mut tolerance = 0.25f64;
+    let mut min_phase_s = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--baseline", Some(v)) => baseline_path = Some(v.clone()),
+            ("--current", Some(v)) => current_path = Some(v.clone()),
+            ("--tier", Some(v)) => tier = v.clone(),
+            ("--mode", Some(v)) => mode = v.clone(),
+            ("--tolerance", Some(v)) => tolerance = v.parse().unwrap_or_else(|_| usage()),
+            ("--min-phase-s", Some(v)) => min_phase_s = v.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if let Ok(raw) = std::env::var("BENCH_GATE_TOLERANCE") {
+        match raw.parse::<f64>() {
+            Ok(value) if value >= 0.0 => {
+                eprintln!("bench_gate: tolerance overridden to {value} via BENCH_GATE_TOLERANCE");
+                tolerance = value;
+            }
+            _ => eprintln!("bench_gate: ignoring unparsable BENCH_GATE_TOLERANCE={raw}"),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        usage()
+    };
+
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Parser::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline_phases, current_phases) = match (
+        phase_means(&baseline, &tier, &mode),
+        phase_means(&current, &tier, &mode),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_gate: tier {tier}, mode {mode}, tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<20} {:>10} {:>10} {:>8}  verdict",
+        "phase", "baseline", "current", "ratio"
+    );
+    let mut regressions = 0usize;
+    for (name, &base) in &baseline_phases {
+        let Some(&now) = current_phases.get(name) else {
+            continue; // a phase the current profile no longer reports
+        };
+        if base < min_phase_s && now < min_phase_s {
+            println!(
+                "{name:<20} {base:>9.3}s {now:>9.3}s {:>8}  skipped (both < {min_phase_s}s)",
+                "-"
+            );
+            continue;
+        }
+        // Guard tiny baselines with the floor so a 1 ms phase cannot fail
+        // the gate by becoming 2 ms.
+        let ratio = now / base.max(min_phase_s);
+        let regressed = ratio > 1.0 + tolerance;
+        println!(
+            "{name:<20} {base:>9.3}s {now:>9.3}s {ratio:>7.2}x  {}",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        regressions += usize::from(regressed);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} phase(s) regressed more than {:.0}% against {baseline_path}",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: no phase regressed more than {:.0}%",
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}

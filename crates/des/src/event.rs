@@ -97,6 +97,17 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The earliest pending event and its timestamp, without removing it.
+    ///
+    /// Lets a driver collect a *batch* of simultaneous events (pop while the
+    /// head matches a predicate) — the basis of the simulator's sharded
+    /// scheduling, which fans same-timestamp work out to worker threads and
+    /// then applies it in this queue's deterministic FIFO order.
+    #[must_use]
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -169,6 +180,17 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(5.0)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_exposes_the_head_event_without_removing_it() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(2.0), "late");
+        q.push(SimTime::from_secs_f64(1.0), "early");
+        assert_eq!(q.peek(), Some((SimTime::from_secs_f64(1.0), &"early")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.peek(), Some((SimTime::from_secs_f64(2.0), &"late")));
     }
 
     #[test]

@@ -110,6 +110,14 @@ impl<E> Scheduler<E> {
         self.queue.push(self.now, event);
     }
 
+    /// The next pending event and its timestamp, without delivering it or
+    /// advancing the clock.  Events beyond the horizon are still reported —
+    /// only [`Scheduler::next`] enforces the horizon.
+    #[must_use]
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.queue.peek()
+    }
+
     /// Delivers the next event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when the queue is empty or the next event lies beyond
@@ -154,6 +162,17 @@ mod tests {
         assert_eq!(s.next(), None);
         assert_eq!(s.now(), SimTime::from_secs_f64(10.0));
         assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn peek_reports_the_head_without_advancing_the_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(3), "x");
+        assert_eq!(s.peek(), Some((SimTime::from_secs_f64(3.0), &"x")));
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.next(), Some("x"));
+        assert_eq!(s.peek(), None);
     }
 
     #[test]

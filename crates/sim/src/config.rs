@@ -84,6 +84,16 @@ pub struct SimConfig {
     /// difference between tractable and hopeless at 10⁴ peers.  Ignored when
     /// [`ring_candidate_cache`](Self::ring_candidate_cache) is off.
     pub ring_cache_granularity: CacheGranularity,
+    /// Number of worker shards the scheduling hot path fans out to (1 =
+    /// fully sequential, the default).  Within one event timestamp, the
+    /// ring searches and serve-queue assemblies of a `TrySchedule` batch are
+    /// partitioned by provider across this many scoped worker threads, each
+    /// with its own [`exchange::SearchScratch`]; the resulting candidate
+    /// decisions are then applied by a single-threaded merge in the event
+    /// queue's deterministic order.  Reports are **bit-identical** for every
+    /// shard count — the knob trades threads for wall-clock, never accuracy
+    /// (see `tests/sharded_equivalence.rs`).
+    pub shards: usize,
     /// Virtual length of the run, in seconds.
     pub sim_duration_s: f64,
     /// Warm-up period excluded from all reported statistics, in seconds.
@@ -120,6 +130,7 @@ impl SimConfig {
             ring_attempts_per_schedule: 8,
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
+            shards: 1,
             sim_duration_s: 48.0 * 3600.0,
             warmup_s: 8.0 * 3600.0,
             storage_maintenance_interval_s: 600.0,
@@ -152,6 +163,7 @@ impl SimConfig {
             ring_attempts_per_schedule: 8,
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
+            shards: 1,
             sim_duration_s: 3_000.0,
             warmup_s: 0.0,
             storage_maintenance_interval_s: 300.0,
@@ -217,6 +229,9 @@ impl SimConfig {
         }
         if self.ring_attempts_per_schedule == 0 {
             return Err("ring_attempts_per_schedule must be at least 1".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1 (1 = sequential scheduling)".into());
         }
         if !(self.sim_duration_s.is_finite() && self.sim_duration_s > 0.0) {
             return Err("sim_duration_s must be positive".into());
@@ -327,6 +342,10 @@ mod tests {
         let mut c = SimConfig::quick_test();
         c.ring_attempts_per_schedule = 0;
         assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.shards = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -335,6 +354,7 @@ mod tests {
             assert_eq!(c.ring_attempts_per_schedule, 8);
             assert!(c.ring_candidate_cache);
             assert_eq!(c.ring_cache_granularity, CacheGranularity::Entry);
+            assert_eq!(c.shards, 1, "sharding is strictly opt-in");
         }
     }
 

@@ -226,6 +226,7 @@ pub struct Scenario {
     axes: Vec<Axis>,
     seeds: Vec<u64>,
     threads: Option<usize>,
+    thread_budget: Option<usize>,
     warm_restarts: bool,
 }
 
@@ -239,6 +240,7 @@ impl Scenario {
             axes: Vec::new(),
             seeds: vec![0],
             threads: None,
+            thread_budget: None,
             warm_restarts: false,
         }
     }
@@ -282,11 +284,51 @@ impl Scenario {
         self
     }
 
-    /// Caps the number of worker threads (default: available parallelism).
+    /// Caps the number of sweep worker threads directly (default: see
+    /// [`thread_budget`](Self::thread_budget)).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Runs every simulation of the grid with `shards` scheduling shards
+    /// (see [`SimConfig::shards`]); results are bit-identical to `shards =
+    /// 1`.  Sweep-level and shard-level parallelism compose through the
+    /// [thread budget](Self::thread_budget): the default worker count is
+    /// divided by the widest shard width in the grid, so `budget ≈ workers ×
+    /// shards` regardless of how the two knobs are mixed.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.base.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the total thread budget the sweep may occupy — sweep workers ×
+    /// per-run scheduling shards (default: available parallelism).  Ignored
+    /// when [`threads`](Self::threads) caps the worker count explicitly.
+    #[must_use]
+    pub fn thread_budget(mut self, total: usize) -> Self {
+        self.thread_budget = Some(total.max(1));
+        self
+    }
+
+    /// The sweep worker count `run` will use for `points`: the explicit
+    /// [`threads`](Self::threads) cap, or the [thread
+    /// budget](Self::thread_budget) (default: available parallelism) divided
+    /// by the grid's widest shard width.
+    fn workers_for(&self, points: &[ScenarioPoint], jobs: usize) -> usize {
+        let workers = match self.threads {
+            Some(threads) => threads,
+            None => {
+                let budget = self.thread_budget.unwrap_or_else(|| {
+                    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                });
+                let shard_width = points.iter().map(|p| p.config.shards).max().unwrap_or(1);
+                budget / shard_width.max(1)
+            }
+        };
+        workers.clamp(1, jobs.max(1))
     }
 
     /// Enables warm restarts: each grid point generates its catalog and peer
@@ -383,12 +425,7 @@ impl Scenario {
             .flat_map(|point| self.seeds.iter().map(move |&seed| (point.index, seed)))
             .collect();
 
-        let workers = self
-            .threads
-            .unwrap_or_else(|| {
-                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
-            .clamp(1, jobs.len().max(1));
+        let workers = self.workers_for(&points, jobs.len());
 
         let next_job = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<SimReport>>> =
@@ -746,6 +783,45 @@ mod tests {
             );
             assert_eq!(a.report.total_sessions(), b.report.total_sessions());
         }
+    }
+
+    #[test]
+    fn sharded_sweeps_match_sequential_sweeps() {
+        let build = |shards: usize| {
+            Scenario::from(tiny_base())
+                .disciplines([ExchangePolicy::two_five_way()])
+                .seeds(0..2)
+                .shards(shards)
+                .run()
+        };
+        let sequential = build(1);
+        let sharded = build(3);
+        assert_eq!(sharded.points()[0].config.shards, 3);
+        for (a, b) in sequential.rows().iter().zip(sharded.rows().iter()) {
+            assert_eq!((a.point, a.seed), (b.point, b.seed));
+            assert_eq!(
+                a.report.completed_downloads(),
+                b.report.completed_downloads()
+            );
+            assert_eq!(a.report.total_sessions(), b.report.total_sessions());
+            assert_eq!(a.report.total_rings(), b.report.total_rings());
+        }
+    }
+
+    #[test]
+    fn thread_budget_derates_workers_by_shard_width() {
+        let scenario = Scenario::from(tiny_base()).shards(4).thread_budget(8);
+        let points = scenario.points();
+        // 8 total threads over 4-shard runs -> 2 sweep workers.
+        assert_eq!(scenario.workers_for(&points, 16), 2);
+        // An explicit thread cap wins over the budget.
+        let capped = Scenario::from(tiny_base()).shards(4).threads(5);
+        let points = capped.points();
+        assert_eq!(capped.workers_for(&points, 16), 5);
+        // A budget narrower than one run still gets one worker.
+        let narrow = Scenario::from(tiny_base()).shards(16).thread_budget(4);
+        let points = narrow.points();
+        assert_eq!(narrow.workers_for(&points, 16), 1);
     }
 
     #[test]

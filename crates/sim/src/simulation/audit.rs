@@ -49,26 +49,39 @@ impl Simulation {
             .unwrap_or_else(|e| panic!("invariant violated before the first event: {e}"));
         while let Some(event) = self.engine.next() {
             match event {
-                Event::GenerateRequests(peer) => self.handle_generate_requests(peer),
-                Event::TrySchedule(peer) => self.handle_try_schedule(peer),
-                Event::BlockComplete(transfer) => self.handle_block_complete(transfer),
-                Event::StorageMaintenance(peer) => self.handle_storage_maintenance(peer),
+                // The sharded engine batches same-timestamp TrySchedule runs;
+                // audit each merged event application individually, so a
+                // violation is pinned to the exact event that introduced it.
+                Event::TrySchedule(first) if self.config.shards > 1 => {
+                    let batch = self.collect_try_schedule_batch(first);
+                    let mut plan = self.plan_batch(&batch);
+                    for &provider in &batch {
+                        let planned = plan.as_mut().and_then(|p| p.provider_mut(provider));
+                        self.handle_try_schedule_planned(provider, planned);
+                        self.audit_after(Event::TrySchedule(provider));
+                    }
+                    continue;
+                }
+                other => self.dispatch(other),
             }
-            // Graph deltas are drained lazily, at the next cached lookup; do
-            // that drain now so the cache check sees the state a lookup
-            // would.  The drain is exactly what the scheduling path performs,
-            // so the audited run stays identical to an unaudited one.
-            self.drain_graph_deltas();
-            self.audit().unwrap_or_else(|e| {
-                panic!(
-                    "invariant violated after {event:?} at t={:.1}s: {e}",
-                    self.engine.now().as_secs_f64()
-                )
-            });
+            self.audit_after(event);
         }
         let report = self.finalize();
         check_report(&report).unwrap_or_else(|e| panic!("report accounting violated: {e}"));
         report
+    }
+
+    /// Drains pending graph deltas (exactly what the next cached lookup
+    /// would do, so the audited run stays identical to an unaudited one) and
+    /// re-checks every invariant, panicking with the offending `event`.
+    fn audit_after(&mut self, event: Event) {
+        self.drain_graph_deltas();
+        self.audit().unwrap_or_else(|e| {
+            panic!(
+                "invariant violated after {event:?} at t={:.1}s: {e}",
+                self.engine.now().as_secs_f64()
+            )
+        });
     }
 
     /// Checks every between-events invariant once.
@@ -82,6 +95,26 @@ impl Simulation {
         self.audit_rings()?;
         self.audit_byte_conservation()?;
         self.audit_ring_cache()?;
+        self.audit_maintenance_wheel()?;
+        Ok(())
+    }
+
+    /// Every over-capacity peer has a maintenance event materialised.  With
+    /// the lazy timing wheel this is the invariant that bounds how long a
+    /// store can exceed its capacity: an armed event fires at the peer's
+    /// next wheel boundary — at most one maintenance interval away — exactly
+    /// when the per-peer-event baseline would have evicted.
+    fn audit_maintenance_wheel(&self) -> Result<(), String> {
+        for peer in &self.peers {
+            if peer.storage.over_capacity() && !self.maintenance_pending[peer.id.as_usize()] {
+                return Err(format!(
+                    "peer {:?} is over capacity ({} of {}) with no maintenance event armed",
+                    peer.id,
+                    peer.storage.len(),
+                    peer.storage.capacity()
+                ));
+            }
+        }
         Ok(())
     }
 

@@ -1,4 +1,18 @@
-//! Event vocabulary, request generation and storage maintenance.
+//! Event vocabulary, peer arrivals, request generation and storage
+//! maintenance.
+//!
+//! The event load is *demand-driven* at 10⁵ peers:
+//!
+//! * arrivals are a chain — each [`Event::Arrive`] schedules the next peer's
+//!   arrival, so the queue holds O(1) arrival entries instead of the old
+//!   O(n) upfront stagger;
+//! * request-generation retries only stay armed while the peer has spare
+//!   request budget (a completed download re-arms generation directly), and
+//!   a per-peer pending flag keeps retry cycles from multiplying;
+//! * storage maintenance materialises lazily through the
+//!   [`super::maintenance::MaintenanceSchedule`] timing wheel: an event
+//!   exists only for peers actually over capacity, scheduled for exactly the
+//!   boundary the per-peer-event baseline would have evicted at.
 
 use des::SimDuration;
 use workload::{ObjectId, PeerId};
@@ -7,9 +21,16 @@ use crate::WantState;
 
 use super::Simulation;
 
+/// Seconds between consecutive peers' arrivals (the historical stagger that
+/// keeps peers from acting in lock-step at t = 0).
+pub(super) const ARRIVAL_STAGGER_S: f64 = 0.25;
+
 /// Everything that can happen in the discrete-event loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Event {
+    /// A peer joins: its first request generation, chaining the next peer's
+    /// arrival (on-demand staggering instead of O(n) upfront events).
+    Arrive(PeerId),
     /// Top up a peer's outstanding requests.
     GenerateRequests(PeerId),
     /// Let a provider (re)fill its upload slots.
@@ -21,9 +42,27 @@ pub(crate) enum Event {
 }
 
 impl Simulation {
+    // ---- arrivals -----------------------------------------------------------
+
+    /// Peer `peer` arrives: schedule the next arrival of the chain, then act
+    /// like its first `GenerateRequests` event.
+    pub(super) fn handle_arrive(&mut self, peer: PeerId) {
+        let next = peer.as_usize() + 1;
+        if next < self.peers.len() {
+            self.engine.schedule_at(
+                des::SimTime::from_secs_f64(next as f64 * ARRIVAL_STAGGER_S),
+                Event::Arrive(PeerId::new(next as u32)),
+            );
+        }
+        self.handle_generate_requests(peer);
+    }
+
     // ---- request generation -------------------------------------------------
 
     pub(super) fn handle_generate_requests(&mut self, peer: PeerId) {
+        // Arrivals call in directly without a queued event; saturate.
+        let queued = &mut self.generate_queued[peer.as_usize()];
+        *queued = queued.saturating_sub(1);
         let max_pending = self.config.max_pending_objects;
         let mut attempts = 0usize;
         let attempt_budget = max_pending * 4;
@@ -41,12 +80,34 @@ impl Simulation {
             let Some(object) = candidate else { break };
             self.issue_request(peer, object);
         }
-        // Periodically retry: wants for which no provider was found, or spare
-        // request budget freed by abandoned lookups, get another chance.
-        self.engine.schedule_in(
-            SimDuration::from_secs_f64(self.config.request_retry_interval_s),
-            Event::GenerateRequests(peer),
-        );
+        // Retry on demand: wants for which no provider was found, or spare
+        // budget freed by abandoned lookups, get another chance — but a peer
+        // whose budget is full has nothing to retry, and a completed
+        // download re-arms generation immediately, so the retry cycle is
+        // only kept alive while it can do work.  This is what keeps the
+        // standing event count demand-driven instead of O(peers).
+        if self.peer(peer).can_issue_request(max_pending) {
+            self.schedule_generate_requests(
+                peer,
+                SimDuration::from_secs_f64(self.config.request_retry_interval_s),
+            );
+        }
+    }
+
+    /// Schedules a `GenerateRequests` event for `peer` after `delay`, unless
+    /// one is already queued — the counter keeps the per-peer retry chain
+    /// singular even when a completion's immediate regeneration overlaps a
+    /// pending retry (the immediate pass then declines to re-arm, and the
+    /// surviving retry event owns the chain).  Dedup is an event-count
+    /// optimisation, not a correctness invariant: a redundant generation
+    /// pass is a no-op (budget full → no RNG draws, no mutations).
+    pub(super) fn schedule_generate_requests(&mut self, peer: PeerId, delay: SimDuration) {
+        if self.generate_queued[peer.as_usize()] > 0 {
+            return;
+        }
+        self.generate_queued[peer.as_usize()] = 1;
+        self.engine
+            .schedule_in(delay, Event::GenerateRequests(peer));
     }
 
     /// Looks up providers for `object` and registers requests with them.
@@ -125,7 +186,23 @@ impl Simulation {
 
     // ---- storage maintenance ------------------------------------------------
 
+    /// Arms a maintenance event for `peer` at its next wheel boundary if the
+    /// peer is over capacity and none is pending.  Call after anything that
+    /// grows storage (a completed download) — the only way past capacity.
+    pub(super) fn schedule_maintenance_if_over_capacity(&mut self, peer: PeerId) {
+        if !self.peers[peer.as_usize()].storage.over_capacity() {
+            return;
+        }
+        if std::mem::replace(&mut self.maintenance_pending[peer.as_usize()], true) {
+            return;
+        }
+        let due = self.maintenance.next_due(peer.as_usize(), self.now());
+        self.engine
+            .schedule_at(due, Event::StorageMaintenance(peer));
+    }
+
     pub(super) fn handle_storage_maintenance(&mut self, peer: PeerId) {
+        self.maintenance_pending[peer.as_usize()] = false;
         // Objects currently being uploaded by this peer are pinned, as the
         // paper postpones removal of objects used in an ongoing exchange.
         let pinned: Vec<ObjectId> = self
@@ -141,6 +218,9 @@ impl Simulation {
                 .storage
                 .evict_over_capacity(&mut self.rng_storage, |o| pinned.contains(&o))
         };
+        if !evicted.is_empty() {
+            self.world_epoch += 1;
+        }
         // Requests directed at this peer for evicted objects can no longer be
         // served here; withdraw them so the request graph stays truthful, and
         // drop cached ring candidates that relied on the peer holding exactly
@@ -161,10 +241,10 @@ impl Simulation {
             }
             self.withdraw_unsourceable_middleman_claims(object);
         }
-        self.engine.schedule_in(
-            SimDuration::from_secs_f64(self.config.storage_maintenance_interval_s),
-            Event::StorageMaintenance(peer),
-        );
+        // Pinned uploads may have blocked eviction entirely; stay armed until
+        // the store is actually back within capacity.  Otherwise the event
+        // dematerialises — the next completed download re-arms the wheel.
+        self.schedule_maintenance_if_over_capacity(peer);
     }
 
     /// `object` just lost a holder.  A middleman's advertisement is only as

@@ -1,0 +1,156 @@
+//! Lazy storage-maintenance timing wheel.
+//!
+//! The pre-PR-5 engine scheduled one `StorageMaintenance` event per peer per
+//! interval — O(n) standing events and O(n) upfront pushes, almost all of
+//! which found the peer within capacity and did nothing (an under-capacity
+//! pass mutates no state and draws no randomness).  The wheel replaces that
+//! with *materialisation on demand*: a maintenance event exists only for
+//! peers that are actually over capacity (storage only grows past capacity
+//! through a completed download, and only shrinks through maintenance
+//! itself), scheduled for exactly the timestamp the per-peer-event baseline
+//! would have evicted at.
+//!
+//! The baseline's timestamps for peer `i` are the accumulated-microsecond
+//! series
+//!
+//! ```text
+//! t_0 = from_secs_f64(interval + i · stagger)
+//! t_{k+1} = t_k + from_secs_f64(interval)
+//! ```
+//!
+//! and an insert at time `t` is evicted at the first boundary *strictly*
+//! after `t` (a boundary event scheduled an interval earlier sorts before
+//! any same-timestamp insert in the FIFO event queue).  [`MaintenanceSchedule::next_due`]
+//! reproduces that series exactly, rounding included, with integer
+//! arithmetic — the property test below checks it against a literally
+//! replayed baseline schedule.
+
+use des::{SimDuration, SimTime};
+
+/// Offset between consecutive peers' maintenance phases, in seconds (the
+/// historical stagger that keeps peers from evicting in lock-step).
+pub(crate) const MAINTENANCE_STAGGER_S: f64 = 0.5;
+
+/// Deterministic per-peer maintenance boundaries (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MaintenanceSchedule {
+    interval_s: f64,
+    /// `from_secs_f64(interval)` in microseconds — the exact step the
+    /// baseline's `schedule_in` accumulated.
+    step_micros: u64,
+}
+
+impl MaintenanceSchedule {
+    pub(crate) fn new(interval_s: f64) -> Self {
+        MaintenanceSchedule {
+            interval_s,
+            step_micros: SimDuration::from_secs_f64(interval_s).as_micros().max(1),
+        }
+    }
+
+    /// The first maintenance boundary of peer `index` strictly after `now` —
+    /// the timestamp at which the per-peer-event baseline would next run (and
+    /// therefore evict), bit-exact including float→micros rounding.
+    pub(crate) fn next_due(&self, index: usize, now: SimTime) -> SimTime {
+        let base = SimTime::from_secs_f64(self.interval_s + index as f64 * MAINTENANCE_STAGGER_S);
+        if now < base {
+            return base;
+        }
+        let elapsed = now.as_micros() - base.as_micros();
+        let k = elapsed / self.step_micros + 1;
+        SimTime::from_micros(base.as_micros() + k * self.step_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The baseline: peer `index`'s k-th boundary, built exactly the way the
+    /// per-peer-event engine built it — an initial `schedule_at` followed by
+    /// repeated relative `schedule_in(interval)` accumulation in SimTime
+    /// microseconds.
+    fn baseline_boundaries(interval_s: f64, index: usize, horizon: SimTime) -> Vec<SimTime> {
+        let mut t = SimTime::from_secs_f64(interval_s + index as f64 * MAINTENANCE_STAGGER_S);
+        let step = SimDuration::from_secs_f64(interval_s);
+        let mut out = Vec::new();
+        while t <= horizon {
+            out.push(t);
+            t += step;
+        }
+        out
+    }
+
+    /// The baseline's eviction time for an object inserted at `at`: the first
+    /// boundary strictly after the insert (a boundary event was scheduled an
+    /// interval earlier, so it sorts before a same-timestamp insert and the
+    /// eviction slips to the next pass).
+    fn baseline_eviction(interval_s: f64, index: usize, at: SimTime) -> Option<SimTime> {
+        let first = SimTime::from_secs_f64(interval_s + index as f64 * MAINTENANCE_STAGGER_S);
+        let step = SimDuration::from_secs_f64(interval_s).as_micros().max(1);
+        // Cover the insert time plus two full steps past whichever is later.
+        let horizon = SimTime::from_micros(at.as_micros().max(first.as_micros()) + 2 * step);
+        baseline_boundaries(interval_s, index, horizon)
+            .into_iter()
+            .find(|t| *t > at)
+    }
+
+    #[test]
+    fn first_boundary_is_the_staggered_interval() {
+        let wheel = MaintenanceSchedule::new(600.0);
+        assert_eq!(
+            wheel.next_due(0, SimTime::ZERO),
+            SimTime::from_secs_f64(600.0)
+        );
+        assert_eq!(
+            wheel.next_due(3, SimTime::ZERO),
+            SimTime::from_secs_f64(601.5)
+        );
+    }
+
+    #[test]
+    fn a_boundary_hit_exactly_defers_to_the_next_interval() {
+        let wheel = MaintenanceSchedule::new(600.0);
+        let t1 = SimTime::from_secs_f64(600.0);
+        assert_eq!(wheel.next_due(0, t1), SimTime::from_secs_f64(1200.0));
+    }
+
+    proptest! {
+        /// On randomized capacity traces (an over-capacity insert at a random
+        /// time, for a random peer and interval), the wheel fires at exactly
+        /// the simulated timestamp the per-peer-event baseline would have.
+        #[test]
+        fn wheel_matches_the_per_peer_event_baseline(
+            interval_decis in 1u32..20_000,          // 0.1 s .. 2000 s
+            index in 0usize..5_000,
+            insert_micros in 0u64..4_000_000_000,    // 0 .. 4000 s
+        ) {
+            let interval_s = f64::from(interval_decis) / 10.0;
+            let wheel = MaintenanceSchedule::new(interval_s);
+            let at = SimTime::from_micros(insert_micros);
+            let expected = baseline_eviction(interval_s, index, at)
+                .expect("horizon covers at least one boundary");
+            prop_assert_eq!(wheel.next_due(index, at), expected);
+        }
+
+        /// Consecutive boundaries reported by the wheel are the baseline's
+        /// accumulated series itself.
+        #[test]
+        fn successive_due_times_walk_the_baseline_series(
+            interval_decis in 1u32..5_000,
+            index in 0usize..200,
+        ) {
+            let interval_s = f64::from(interval_decis) / 10.0;
+            let wheel = MaintenanceSchedule::new(interval_s);
+            let horizon = SimTime::from_secs_f64(interval_s * 8.0 + 200.0);
+            let baseline = baseline_boundaries(interval_s, index, horizon);
+            let mut now = SimTime::ZERO;
+            for expected in baseline {
+                let due = wheel.next_due(index, now);
+                prop_assert_eq!(due, expected);
+                now = due;
+            }
+        }
+    }
+}

@@ -13,8 +13,10 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 mod events;
+mod maintenance;
 mod ring_cache;
 mod scheduling;
+mod shard;
 mod transfers;
 
 pub use ring_cache::{CacheGranularity, CachedEntry, RingCacheStats, RingCandidateCache};
@@ -32,6 +34,7 @@ use workload::{Catalog, ObjectId, PeerId, PeerInterests, RequestGenerator, Stora
 use crate::{BehaviorKind, PeerBehavior, PeerState, SessionEnd, SimConfig, SimReport};
 
 use events::Event;
+use maintenance::MaintenanceSchedule;
 use transfers::{ActiveRing, ActiveTransfer};
 
 /// Identifier of an active transfer session within one run.
@@ -127,23 +130,32 @@ impl SimSetup {
 
 /// Wall-clock breakdown of one [profiled](Simulation::run_profiled) run by
 /// event phase.  `scheduling` includes `ring_search`; `event_loop` covers the
-/// whole dispatch loop (the four phases plus engine overhead).  Setup time is
+/// whole dispatch loop (the phases plus engine overhead).  Setup time is
 /// not included — time [`Simulation::new`]/[`SimSetup::generate`] separately.
+///
+/// Sharded runs ([`SimConfig::shards`] > 1) additionally report
+/// `shard_planning` — the wall clock of the parallel search/queue windows —
+/// and account worker-side search time into `ring_search` as summed CPU
+/// time, which can exceed the wall clock of the window it ran in.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseProfile {
     /// Total events dispatched.
     pub events: u64,
     /// Wall-clock time of the whole event loop.
     pub event_loop: Duration,
-    /// Time spent generating and registering requests.
+    /// Time spent generating and registering requests (including arrivals).
     pub generate_requests: Duration,
     /// Time spent filling upload slots (ring discovery + activation + the
     /// non-exchange fallback).
     pub scheduling: Duration,
-    /// Time spent inside fresh ring searches (a subset of `scheduling`).
+    /// Time spent inside fresh ring searches (a subset of `scheduling` for
+    /// sequential runs; summed worker CPU time for sharded runs).
     pub ring_search: Duration,
     /// Number of fresh ring searches run.
     pub ring_searches: u64,
+    /// Wall clock of the sharded batch-planning windows (zero when
+    /// [`SimConfig::shards`] is 1).
+    pub shard_planning: Duration,
     /// Time spent completing transfer blocks.
     pub transfers: Duration,
     /// Time spent in storage-maintenance passes.
@@ -212,9 +224,32 @@ pub struct Simulation {
     /// The peers whose behavior may advertise unstored objects (middlemen),
     /// in id order; behaviors are fixed per run, so this is static.
     advertisers: Vec<PeerId>,
+    /// Per-peer bitmap of [`advertisers`](Self::advertisers): lets the claims
+    /// oracle — and the shard workers, which cannot touch the `dyn
+    /// PeerBehavior` objects — answer `advertises_unstored` without a
+    /// virtual call.  Behaviors are fixed per run, so this is static.
+    advertises: Vec<bool>,
     /// Bumped whenever a transfer starts or ends; lets the scheduling loop
     /// detect that an assembled non-exchange queue is still current.
     transfer_epoch: u64,
+    /// Bumped whenever a peer's storage (and with it the claims oracle)
+    /// changes outside the request graph: a completed download entering the
+    /// store, a maintenance eviction.  Together with
+    /// [`RequestGraph::generation`] this stamps the state a sharded batch
+    /// plan was computed against; a precomputed search is replayed only while
+    /// both are unchanged.
+    world_epoch: u64,
+    /// The lazy maintenance timing wheel (see [`maintenance`]).
+    maintenance: MaintenanceSchedule,
+    /// Whether a `StorageMaintenance` event is currently queued per peer.
+    maintenance_pending: Vec<bool>,
+    /// How many `GenerateRequests` events are currently queued per peer.
+    /// Retries only arm when this is zero, so the on-demand retry chain
+    /// stays singular even across a completion's immediate regeneration.
+    generate_queued: Vec<u32>,
+    /// One search scratch per shard worker, kept warm across batches
+    /// (empty while [`SimConfig::shards`] is 1).
+    shard_scratches: Vec<SearchScratch<PeerId, ObjectId>>,
     /// Set by [`run_profiled`](Self::run_profiled): fresh ring searches time
     /// themselves into `ring_search_nanos`.
     profile_searches: bool,
@@ -267,18 +302,14 @@ impl Simulation {
 
         let horizon = SimTime::from_secs_f64(config.sim_duration_s);
         let mut engine = Scheduler::with_horizon(horizon);
-        // Stagger the initial request generation and maintenance slightly so
-        // that peers do not act in lock-step.
-        for (index, _) in peers.iter().enumerate() {
-            let peer = PeerId::new(index as u32);
-            engine.schedule_at(
-                SimTime::from_secs_f64(index as f64 * 0.25),
-                Event::GenerateRequests(peer),
-            );
-            engine.schedule_at(
-                SimTime::from_secs_f64(config.storage_maintenance_interval_s + index as f64 * 0.5),
-                Event::StorageMaintenance(peer),
-            );
+        // Peers arrive staggered (so they do not act in lock-step), but the
+        // stagger is generated on demand: each arrival schedules the next,
+        // keeping the queue at O(1) arrival entries instead of O(n) upfront
+        // pushes.  Maintenance events materialise lazily when a peer goes
+        // over capacity (see `events.rs`), so the queue starts with exactly
+        // one entry regardless of the population size.
+        if num_peers > 0 {
+            engine.schedule_at(SimTime::ZERO, Event::Arrive(PeerId::new(0)));
         }
 
         let report = SimReport::new(num_peers);
@@ -286,6 +317,7 @@ impl Simulation {
         let mut holders = vec![std::collections::BTreeSet::new(); catalog.num_objects()];
         let mut honest_holders = vec![0u32; catalog.num_objects()];
         let mut advertisers = Vec::new();
+        let mut advertises = vec![false; num_peers];
         for (peer, behavior) in peers.iter().zip(behaviors.iter()) {
             if !peer.sharing {
                 continue;
@@ -299,8 +331,10 @@ impl Simulation {
             }
             if behavior.advertises_unstored() {
                 advertisers.push(peer.id);
+                advertises[peer.id.as_usize()] = true;
             }
         }
+        let config_maintenance_interval = config.storage_maintenance_interval_s;
         Simulation {
             request_gen: RequestGenerator::new(&config.workload),
             rng_requests: root_rng.stream("requests"),
@@ -326,7 +360,13 @@ impl Simulation {
             holders,
             honest_holders,
             advertisers,
+            advertises,
             transfer_epoch: 0,
+            world_epoch: 0,
+            maintenance: MaintenanceSchedule::new(config_maintenance_interval),
+            maintenance_pending: vec![false; num_peers],
+            generate_queued: vec![0; num_peers],
+            shard_scratches: Vec::new(),
             profile_searches: false,
             ring_search_nanos: Cell::new(0),
             ring_searches: Cell::new(0),
@@ -365,17 +405,58 @@ impl Simulation {
     }
 
     /// Runs the simulation to its horizon and returns the collected report.
+    ///
+    /// With [`SimConfig::shards`] > 1 the scheduling hot path runs sharded
+    /// (see [`shard`]); the report is bit-identical either way.
     #[must_use]
     pub fn run(mut self) -> SimReport {
-        while let Some(event) = self.engine.next() {
-            match event {
-                Event::GenerateRequests(peer) => self.handle_generate_requests(peer),
-                Event::TrySchedule(peer) => self.handle_try_schedule(peer),
-                Event::BlockComplete(transfer) => self.handle_block_complete(transfer),
-                Event::StorageMaintenance(peer) => self.handle_storage_maintenance(peer),
+        if self.config.shards > 1 {
+            self.run_event_loop_sharded(None);
+        } else {
+            while let Some(event) = self.engine.next() {
+                self.dispatch(event);
             }
         }
         self.finalize()
+    }
+
+    /// Handles one event (the shared body of every run loop).
+    pub(crate) fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Arrive(peer) => self.handle_arrive(peer),
+            Event::GenerateRequests(peer) => self.handle_generate_requests(peer),
+            Event::TrySchedule(peer) => self.handle_try_schedule(peer),
+            Event::BlockComplete(transfer) => self.handle_block_complete(transfer),
+            Event::StorageMaintenance(peer) => self.handle_storage_maintenance(peer),
+        }
+    }
+
+    /// [`dispatch`](Self::dispatch) with per-phase wall-clock attribution.
+    fn dispatch_profiled(&mut self, event: Event, profile: &mut PhaseProfile) {
+        profile.events += 1;
+        let start = Instant::now();
+        match event {
+            Event::Arrive(peer) => {
+                self.handle_arrive(peer);
+                profile.generate_requests += start.elapsed();
+            }
+            Event::GenerateRequests(peer) => {
+                self.handle_generate_requests(peer);
+                profile.generate_requests += start.elapsed();
+            }
+            Event::TrySchedule(peer) => {
+                self.handle_try_schedule(peer);
+                profile.scheduling += start.elapsed();
+            }
+            Event::BlockComplete(transfer) => {
+                self.handle_block_complete(transfer);
+                profile.transfers += start.elapsed();
+            }
+            Event::StorageMaintenance(peer) => {
+                self.handle_storage_maintenance(peer);
+                profile.maintenance += start.elapsed();
+            }
+        }
     }
 
     /// Like [`run`](Self::run), but additionally times every event phase and
@@ -385,30 +466,15 @@ impl Simulation {
     pub fn run_profiled(mut self) -> (SimReport, PhaseProfile) {
         self.profile_searches = true;
         let mut profile = PhaseProfile::default();
-        let loop_start = Instant::now();
-        while let Some(event) = self.engine.next() {
-            profile.events += 1;
-            let start = Instant::now();
-            match event {
-                Event::GenerateRequests(peer) => {
-                    self.handle_generate_requests(peer);
-                    profile.generate_requests += start.elapsed();
-                }
-                Event::TrySchedule(peer) => {
-                    self.handle_try_schedule(peer);
-                    profile.scheduling += start.elapsed();
-                }
-                Event::BlockComplete(transfer) => {
-                    self.handle_block_complete(transfer);
-                    profile.transfers += start.elapsed();
-                }
-                Event::StorageMaintenance(peer) => {
-                    self.handle_storage_maintenance(peer);
-                    profile.maintenance += start.elapsed();
-                }
+        if self.config.shards > 1 {
+            self.run_event_loop_sharded(Some(&mut profile));
+        } else {
+            let loop_start = Instant::now();
+            while let Some(event) = self.engine.next() {
+                self.dispatch_profiled(event, &mut profile);
             }
+            profile.event_loop = loop_start.elapsed();
         }
-        profile.event_loop = loop_start.elapsed();
         profile.ring_search = Duration::from_nanos(self.ring_search_nanos.get());
         profile.ring_searches = self.ring_searches.get();
         (self.finalize(), profile)
@@ -416,6 +482,9 @@ impl Simulation {
 
     fn finalize(mut self) -> SimReport {
         // Close out still-active sessions so their bytes are accounted for.
+        // Teardown walks only the open-transfer set the simulation already
+        // tracks; the event queue it drops alongside is demand-driven (no
+        // O(peers) standing maintenance/retry entries to deallocate).
         let open: Vec<TransferId> = self.transfers.keys().copied().collect();
         for tid in open {
             self.end_transfer(tid, SessionEnd::HorizonReached);
@@ -491,15 +560,7 @@ impl Simulation {
     /// request edges, both of which invalidate the ring-candidate cache when
     /// they change, so cached searches stay exact under every behavior mix.
     pub(crate) fn claims(&self, peer: PeerId, object: ObjectId) -> bool {
-        let state = self.peer(peer);
-        if !state.sharing {
-            return false;
-        }
-        if state.storage.contains(object) {
-            return true;
-        }
-        self.behavior(peer).advertises_unstored()
-            && self.graph.incoming(peer).any(|r| r.object == object)
+        shard::claims_with(&self.peers, &self.graph, &self.advertises, peer, object)
     }
 }
 

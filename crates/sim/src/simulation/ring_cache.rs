@@ -174,6 +174,19 @@ impl RingCandidateCache {
         }
     }
 
+    /// Whether [`lookup`](Self::lookup) for `root` and exactly this `wants`
+    /// list would hit, **without** touching the hit/miss counters.  Shard
+    /// planning uses this to decide which providers need a precomputed
+    /// search; the stats themselves are only ever advanced by the merge
+    /// thread's real lookups, so they stay bit-identical to a sequential
+    /// run.
+    #[must_use]
+    pub fn peek(&self, root: PeerId, wants: &[ObjectId]) -> bool {
+        self.entries
+            .get(&root)
+            .is_some_and(|entry| entry.wants == wants)
+    }
+
     /// Stores a fresh search result for `root`, replacing any prior entry.
     ///
     /// Index maintenance is granularity-specific: provider granularity

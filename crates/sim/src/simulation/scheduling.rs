@@ -2,35 +2,61 @@
 //! preemption, and the pluggable non-exchange fallback.
 
 use credit::QueuedRequest;
-use exchange::{ExchangeRing, RingSearch, RingToken, TokenOutcome};
+use exchange::{ExchangeRing, RingSearch, RingToken, SearchTrace, TokenOutcome};
 use workload::{ObjectId, PeerId};
 
 use crate::{SessionEnd, SessionKind};
 
+use super::shard::PlannedProvider;
 use super::Simulation;
 
 /// The non-exchange request queue assembled for one provider, reused across
-/// iterations of the scheduling loop as long as no transfer started or ended
-/// in between (tracked via `Simulation::transfer_epoch`).
+/// iterations of the scheduling loop — and seeded from a shard worker's
+/// precomputation — as long as its validity stamps still match: no transfer
+/// started or ended (`transfer_epoch`), no request edge changed
+/// (`generation`), no storage/claims change (`world_epoch`).  In the
+/// sequential engine only the transfer epoch can actually move between
+/// iterations; the other two stamps are insurance that keeps a future
+/// graph-mutating scheduling step from silently replaying a stale queue.
 pub(super) struct ServeQueue {
-    queue: Vec<QueuedRequest<PeerId>>,
-    objects: Vec<ObjectId>,
-    epoch: u64,
+    pub(super) queue: Vec<QueuedRequest<PeerId>>,
+    pub(super) objects: Vec<ObjectId>,
+    pub(super) transfer_epoch: u64,
+    pub(super) generation: u64,
+    pub(super) world_epoch: u64,
 }
 
 impl Simulation {
     pub(super) fn handle_try_schedule(&mut self, provider: PeerId) {
+        self.handle_try_schedule_planned(provider, None);
+    }
+
+    /// [`handle_try_schedule`](Self::handle_try_schedule), optionally seeded
+    /// with a shard worker's precomputed plan.  With `plan = None` this *is*
+    /// the sequential engine; with a plan, precomputed results replace the
+    /// searches and queue assemblies they are provably identical to, and
+    /// everything else — cache lookups and stores, activation, preemption,
+    /// the scheduler's pick — runs unchanged, so the two paths cannot
+    /// diverge.
+    pub(super) fn handle_try_schedule_planned(
+        &mut self,
+        provider: PeerId,
+        plan: Option<&mut PlannedProvider>,
+    ) {
         if !self.peer(provider).sharing {
             return;
         }
-        let mut serve_queue: Option<ServeQueue> = None;
+        let (mut serve_queue, plan) = match plan {
+            Some(plan) => (plan.take_serve_queue(), Some(&*plan)),
+            None => (None, None),
+        };
         loop {
             let free_slot = self.peer(provider).upload_slots.has_free();
             let can_preempt = self.config.preemption && self.has_preemptible_upload(provider);
             let mut progressed = false;
 
             if self.config.discipline.allows_exchange() && (free_slot || can_preempt) {
-                progressed = self.try_form_exchange(provider);
+                progressed = self.try_form_exchange(provider, plan);
             }
             if !progressed && self.peer(provider).upload_slots.has_free() {
                 progressed = self.serve_non_exchange(provider, &mut serve_queue);
@@ -58,7 +84,9 @@ impl Simulation {
     /// when enabled: the last search's rings are reused verbatim until a
     /// graph or holdings delta touches a peer that search depended on, so
     /// repeated scheduling rounds at a quiet provider skip the BFS entirely.
-    fn try_form_exchange(&mut self, provider: PeerId) -> bool {
+    /// When a shard `plan` carries a still-valid precomputed trace, it
+    /// replaces the fresh BFS a miss would otherwise run — nothing else.
+    fn try_form_exchange(&mut self, provider: PeerId, plan: Option<&PlannedProvider>) -> bool {
         let Some(policy) = self.config.discipline.search_policy() else {
             return false;
         };
@@ -74,13 +102,15 @@ impl Simulation {
             if let Some(rings) = self.ring_cache.lookup(provider, &wants) {
                 rings.iter().take(attempts).cloned().collect()
             } else {
-                let trace = self.search_rings(policy, provider, &wants);
+                let trace = self.planned_or_fresh_trace(policy, provider, &wants, plan);
                 let candidates = trace.rings.iter().take(attempts).cloned().collect();
                 self.ring_cache.store(provider, wants, trace);
                 candidates
             }
         } else {
-            let mut rings = self.search_rings(policy, provider, &wants).rings;
+            let mut rings = self
+                .planned_or_fresh_trace(policy, provider, &wants, plan)
+                .rings;
             rings.truncate(attempts);
             rings
         };
@@ -90,6 +120,24 @@ impl Simulation {
             }
         }
         false
+    }
+
+    /// The shard-precomputed trace when it is provably identical to a fresh
+    /// search (same wants, graph generation and world epoch unchanged since
+    /// the snapshot), a fresh inline search otherwise.
+    fn planned_or_fresh_trace(
+        &mut self,
+        policy: exchange::SearchPolicy,
+        provider: PeerId,
+        wants: &[ObjectId],
+        plan: Option<&PlannedProvider>,
+    ) -> SearchTrace<PeerId, ObjectId> {
+        if let Some(trace) =
+            plan.and_then(|p| p.valid_trace(wants, self.graph.generation(), self.world_epoch))
+        {
+            return trace.clone();
+        }
+        self.search_rings(policy, provider, wants)
     }
 
     /// Drains the request graph's dirty log into the ring-candidate cache
@@ -363,9 +411,11 @@ impl Simulation {
     /// `(requester, object)` pair and, if the requester's download slots
     /// filled up, the requester's other entries).
     fn serve_non_exchange(&mut self, provider: PeerId, cached: &mut Option<ServeQueue>) -> bool {
-        let current = matches!(cached, Some(sq) if sq.epoch == self.transfer_epoch);
+        let current = matches!(cached, Some(sq) if sq.transfer_epoch == self.transfer_epoch
+            && sq.generation == self.graph.generation()
+            && sq.world_epoch == self.world_epoch);
         if !current {
-            *cached = Some(self.build_serve_queue(provider));
+            *cached = Some(self.batch_snapshot().build_serve_queue(provider));
         }
         let sq = cached.as_mut().expect("serve queue was just built");
         if sq.queue.is_empty() {
@@ -411,73 +461,10 @@ impl Simulation {
             }
             sq.queue = kept_queue;
             sq.objects = kept_objects;
-            sq.epoch = self.transfer_epoch;
+            sq.transfer_epoch = self.transfer_epoch;
+            sq.generation = self.graph.generation();
+            sq.world_epoch = self.world_epoch;
         }
         started
-    }
-
-    /// Assembles the eligible non-exchange queue at `provider` from scratch.
-    fn build_serve_queue(&self, provider: PeerId) -> ServeQueue {
-        let now = self.now();
-        // The reciprocation flag costs a storage scan per queued request;
-        // only compute it for schedulers that actually read it.
-        let wants_reciprocal = self.scheduler.needs_reciprocal();
-        let provider_wants = if wants_reciprocal {
-            self.peer(provider).wanted_objects()
-        } else {
-            Vec::new()
-        };
-        let mut queue: Vec<QueuedRequest<PeerId>> = Vec::new();
-        let mut objects: Vec<ObjectId> = Vec::new();
-        for req in self.graph.incoming(provider) {
-            let requester_state = self.peer(req.requester);
-            let Some(want) = requester_state.wants.get(&req.object) else {
-                continue;
-            };
-            // The provider must still claim the object.  This is
-            // `Simulation::claims` with its edge-existence scan elided:
-            // `req` IS an incoming edge for exactly this object, so the
-            // capability probe alone decides, and the queue rebuild stays
-            // O(queue) instead of O(queue²) at a busy middleman.
-            if !self.peer(provider).storage.contains(req.object)
-                && !self.behavior(provider).advertises_unstored()
-            {
-                continue;
-            }
-            if !requester_state.download_slots.has_free() {
-                continue;
-            }
-            let already_serving = self
-                .downloads_by_want
-                .get(&(req.requester, req.object))
-                .is_some_and(|tids| {
-                    tids.iter().any(|tid| {
-                        self.transfers
-                            .get(tid)
-                            .is_some_and(|t| t.uploader == provider)
-                    })
-                });
-            if already_serving {
-                continue;
-            }
-            let reciprocal = wants_reciprocal
-                && requester_state.sharing
-                && provider_wants
-                    .iter()
-                    .any(|object| requester_state.storage.contains(*object));
-            queue.push(
-                QueuedRequest::new(
-                    req.requester,
-                    now.saturating_since(want.issued_at).as_secs_f64(),
-                )
-                .with_reciprocal(reciprocal),
-            );
-            objects.push(req.object);
-        }
-        ServeQueue {
-            queue,
-            objects,
-            epoch: self.transfer_epoch,
-        }
     }
 }

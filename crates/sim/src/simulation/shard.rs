@@ -1,0 +1,414 @@
+//! Sharded provider scheduling with a deterministic merge.
+//!
+//! `TrySchedule` is the hot event: at 10⁴–10⁵ peers, ring searches and
+//! serve-queue assembly dominate the run.  The key structural fact is that
+//! handling a `TrySchedule` event **never mutates what another provider's
+//! search reads** — the request graph, peer storage, sharing flags and want
+//! lists only change in `GenerateRequests`, `BlockComplete` and
+//! `StorageMaintenance` handlers.  A run of consecutive same-timestamp
+//! `TrySchedule` events can therefore be *planned* in parallel:
+//!
+//! 1. **Batch** — pop the maximal prefix of consecutive `TrySchedule` events
+//!    sharing the current timestamp.
+//! 2. **Plan** — partition the distinct providers across
+//!    [`SimConfig::shards`](crate::SimConfig::shards) scoped worker threads.
+//!    Each worker, against an immutable [`BatchSnapshot`] and with its own
+//!    [`SearchScratch`], emits candidate decisions: the traced ring search
+//!    (for providers the planner predicts will miss the candidate cache) and
+//!    the assembled non-exchange serve queue.
+//! 3. **Merge** — a single thread replays the events **in their original
+//!    queue order** (the event queue's deterministic FIFO sequence), running
+//!    the exact sequential control flow — cache lookups and stores included,
+//!    so hit/miss/invalidation stats match bit for bit — but substituting
+//!    each precomputed trace for the BFS it replaces.  A precomputed result
+//!    is only substituted while its stamps
+//!    ([`RequestGraph::generation`] and the simulation's `world_epoch` for
+//!    searches, additionally `transfer_epoch` for serve queues) still match;
+//!    anything stale falls back to inline recomputation.  Worker completion
+//!    order is irrelevant: workers never touch shared mutable state.
+//!
+//! The result is bit-identical to the sequential engine at every cache
+//! granularity, behavior mix and protection — `tests/sharded_equivalence.rs`
+//! and the `audit` feature prove it — while the searches, the dominant cost,
+//! run on all shards.
+
+use std::collections::{HashMap, HashSet};
+use std::mem;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use credit::QueuedRequest;
+use des::SimTime;
+use exchange::{RequestGraph, RingSearch, SearchScratch, SearchTrace};
+use workload::{ObjectId, PeerId};
+
+use crate::PeerState;
+
+use super::events::Event;
+use super::scheduling::ServeQueue;
+use super::transfers::ActiveTransfer;
+use super::{PhaseProfile, Simulation, TransferId};
+
+/// Whether `peer` claims to be able to serve `object` — its advertised
+/// holdings.  Every uploading behavior claims its real storage; a middleman
+/// (`advertises[peer]`) additionally claims any object someone has an
+/// accepted request for at it.
+///
+/// This is the one claims oracle of the simulation: [`Simulation::claims`]
+/// and the shard workers both call it, so sequential and sharded searches
+/// can never diverge on what a peer advertises.
+pub(super) fn claims_with(
+    peers: &[PeerState],
+    graph: &RequestGraph<PeerId, ObjectId>,
+    advertises: &[bool],
+    peer: PeerId,
+    object: ObjectId,
+) -> bool {
+    let state = &peers[peer.as_usize()];
+    if !state.sharing {
+        return false;
+    }
+    if state.storage.contains(object) {
+        return true;
+    }
+    advertises[peer.as_usize()] && graph.incoming(peer).any(|r| r.object == object)
+}
+
+/// The immutable slice of simulation state a shard worker reads.  Built once
+/// per batch on the merge thread; the mutable side (engine, report, upload
+/// scheduler, ring cache, RNGs) never crosses a thread boundary.
+pub(super) struct BatchSnapshot<'a> {
+    graph: &'a RequestGraph<PeerId, ObjectId>,
+    peers: &'a [PeerState],
+    advertises: &'a [bool],
+    transfers: &'a HashMap<TransferId, ActiveTransfer>,
+    downloads_by_want: &'a HashMap<(PeerId, ObjectId), Vec<TransferId>>,
+    now: SimTime,
+    needs_reciprocal: bool,
+    transfer_epoch: u64,
+    generation: u64,
+    world_epoch: u64,
+}
+
+impl BatchSnapshot<'_> {
+    fn claims(&self, peer: PeerId, object: ObjectId) -> bool {
+        claims_with(self.peers, self.graph, self.advertises, peer, object)
+    }
+
+    /// Runs one traced ring search rooted at `provider` inside `scratch`.
+    /// Identical to the sequential engine's fresh search: same policy
+    /// object, same claims oracle, same graph.
+    fn search(
+        &self,
+        search: &RingSearch,
+        scratch: &mut SearchScratch<PeerId, ObjectId>,
+        provider: PeerId,
+        wants: &[ObjectId],
+    ) -> SearchTrace<PeerId, ObjectId> {
+        search.find_traced_in(scratch, self.graph, provider, wants, |peer, object| {
+            self.claims(*peer, *object)
+        })
+    }
+
+    /// Assembles the eligible non-exchange queue at `provider` from scratch.
+    ///
+    /// This is *the* serve-queue builder — the sequential path calls it too
+    /// (via [`Simulation::batch_snapshot`]), so a precomputed queue can only
+    /// ever equal what an inline rebuild would produce.  The returned queue
+    /// carries the snapshot's validity stamps; `serve_non_exchange` rebuilds
+    /// if any of them moved.
+    pub(super) fn build_serve_queue(&self, provider: PeerId) -> ServeQueue {
+        let provider_state = &self.peers[provider.as_usize()];
+        // The reciprocation flag costs a storage scan per queued request;
+        // only compute it for schedulers that actually read it.
+        let provider_wants = if self.needs_reciprocal {
+            provider_state.wanted_objects()
+        } else {
+            Vec::new()
+        };
+        let mut queue: Vec<QueuedRequest<PeerId>> = Vec::new();
+        let mut objects: Vec<ObjectId> = Vec::new();
+        for req in self.graph.incoming(provider) {
+            let requester_state = &self.peers[req.requester.as_usize()];
+            let Some(want) = requester_state.wants.get(&req.object) else {
+                continue;
+            };
+            // The provider must still claim the object.  This is `claims_with`
+            // with its edge-existence scan elided: `req` IS an incoming edge
+            // for exactly this object, so the capability probe alone decides,
+            // and the queue rebuild stays O(queue) instead of O(queue²) at a
+            // busy middleman.
+            if !provider_state.storage.contains(req.object) && !self.advertises[provider.as_usize()]
+            {
+                continue;
+            }
+            if !requester_state.download_slots.has_free() {
+                continue;
+            }
+            let already_serving = self
+                .downloads_by_want
+                .get(&(req.requester, req.object))
+                .is_some_and(|tids| {
+                    tids.iter().any(|tid| {
+                        self.transfers
+                            .get(tid)
+                            .is_some_and(|t| t.uploader == provider)
+                    })
+                });
+            if already_serving {
+                continue;
+            }
+            let reciprocal = self.needs_reciprocal
+                && requester_state.sharing
+                && provider_wants
+                    .iter()
+                    .any(|object| requester_state.storage.contains(*object));
+            queue.push(
+                QueuedRequest::new(
+                    req.requester,
+                    self.now.saturating_since(want.issued_at).as_secs_f64(),
+                )
+                .with_reciprocal(reciprocal),
+            );
+            objects.push(req.object);
+        }
+        ServeQueue {
+            queue,
+            objects,
+            transfer_epoch: self.transfer_epoch,
+            generation: self.generation,
+            world_epoch: self.world_epoch,
+        }
+    }
+}
+
+/// One provider's precomputed batch work.
+pub(super) struct PlannedProvider {
+    /// The provider's wanted objects at snapshot time (the search key).
+    wants: Vec<ObjectId>,
+    /// Fresh traced search against the snapshot — present when the planner
+    /// predicted a cache miss (or the cache is disabled), absent when a live
+    /// cache entry will answer the lookup.
+    trace: Option<SearchTrace<PeerId, ObjectId>>,
+    /// Assembled non-exchange queue, consumed by the provider's first event
+    /// of the batch (later events rebuild lazily, exactly like sequential).
+    serve_queue: Option<ServeQueue>,
+    /// Graph generation the plan was computed at.
+    generation: u64,
+    /// Simulation `world_epoch` (storage/claims state) at plan time.
+    world_epoch: u64,
+}
+
+impl PlannedProvider {
+    /// Takes the precomputed serve queue (first caller wins).
+    pub(super) fn take_serve_queue(&mut self) -> Option<ServeQueue> {
+        self.serve_queue.take()
+    }
+
+    /// The precomputed trace, if it is provably identical to what a fresh
+    /// search would return right now: same wants, and neither the request
+    /// graph nor the storage/claims state has moved since the snapshot.
+    pub(super) fn valid_trace(
+        &self,
+        wants: &[ObjectId],
+        generation: u64,
+        world_epoch: u64,
+    ) -> Option<&SearchTrace<PeerId, ObjectId>> {
+        if self.generation == generation && self.world_epoch == world_epoch && self.wants == wants {
+            self.trace.as_ref()
+        } else {
+            None
+        }
+    }
+}
+
+/// The worker output for one batch: per-provider plans plus the profiling
+/// tallies of the parallel window.
+pub(super) struct BatchPlan {
+    providers: HashMap<PeerId, PlannedProvider>,
+}
+
+impl BatchPlan {
+    pub(super) fn provider_mut(&mut self, provider: PeerId) -> Option<&mut PlannedProvider> {
+        self.providers.get_mut(&provider)
+    }
+}
+
+impl Simulation {
+    /// The immutable view of the current state that shard workers (and the
+    /// sequential serve-queue builder) read.
+    pub(super) fn batch_snapshot(&self) -> BatchSnapshot<'_> {
+        BatchSnapshot {
+            graph: &self.graph,
+            peers: &self.peers,
+            advertises: &self.advertises,
+            transfers: &self.transfers,
+            downloads_by_want: &self.downloads_by_want,
+            now: self.now(),
+            needs_reciprocal: self.scheduler.needs_reciprocal(),
+            transfer_epoch: self.transfer_epoch,
+            generation: self.graph.generation(),
+            world_epoch: self.world_epoch,
+        }
+    }
+
+    /// Pops the maximal run of consecutive `TrySchedule` events sharing the
+    /// current timestamp (`first` is the one already popped).  Events the
+    /// merge schedules while applying the batch land *after* the batch in
+    /// the queue — exactly where the sequential engine would pop them — so
+    /// batching never reorders delivery.
+    pub(super) fn collect_try_schedule_batch(&mut self, first: PeerId) -> Vec<PeerId> {
+        let now = self.engine.now();
+        let mut batch = vec![first];
+        while matches!(self.engine.peek(), Some((t, Event::TrySchedule(_))) if t == now) {
+            match self.engine.next() {
+                Some(Event::TrySchedule(peer)) => batch.push(peer),
+                _ => unreachable!("peeked a TrySchedule event at the current timestamp"),
+            }
+        }
+        batch
+    }
+
+    /// Fans the batch's read-only work out across the shard workers.
+    ///
+    /// Returns `None` (fall back to fully sequential handling) for batches
+    /// too small to amortise the thread fan-out.  Before planning, the graph
+    /// dirty log is drained iff the first scheduling attempt of the batch
+    /// would drain it — between the two possible drain points no cache
+    /// operation can occur, so invalidation totals are unchanged.
+    pub(super) fn plan_batch(&mut self, batch: &[PeerId]) -> Option<BatchPlan> {
+        let shards = self.config.shards;
+        let policy = self.config.discipline.search_policy();
+        if self.config.ring_candidate_cache && policy.is_some() {
+            self.drain_graph_deltas();
+        }
+        // Distinct sharing providers, first-occurrence order.
+        let mut seen: HashSet<PeerId> = HashSet::with_capacity(batch.len());
+        let mut tasks: Vec<(PeerId, Vec<ObjectId>, bool)> = Vec::with_capacity(batch.len());
+        for &provider in batch {
+            if !seen.insert(provider) || !self.peer(provider).sharing {
+                continue;
+            }
+            let wants = self.peer(provider).wanted_objects();
+            let want_search = policy.is_some()
+                && !wants.is_empty()
+                && (!self.config.ring_candidate_cache || !self.ring_cache.peek(provider, &wants));
+            tasks.push((provider, wants, want_search));
+        }
+        if tasks.len() < shards.max(2) {
+            return None;
+        }
+
+        let search = policy.map(|p| {
+            RingSearch::new(p)
+                .with_expansion_budget(self.config.ring_search_budget)
+                .with_fanout(self.config.ring_search_fanout)
+        });
+        let mut scratches = mem::take(&mut self.shard_scratches);
+        if scratches.len() < shards {
+            scratches.resize_with(shards, SearchScratch::new);
+        }
+        let profiling = self.profile_searches;
+        type Slot = (Option<SearchTrace<PeerId, ObjectId>>, ServeQueue, u64);
+        let slots: Vec<Mutex<Option<Slot>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let snapshot = self.batch_snapshot();
+            let tasks = &tasks;
+            let slots = &slots;
+            let search = &search;
+            let snapshot = &snapshot;
+            thread::scope(|scope| {
+                for (worker, scratch) in scratches.iter_mut().enumerate().take(shards) {
+                    scope.spawn(move || {
+                        for (index, (provider, wants, want_search)) in tasks.iter().enumerate() {
+                            if index % shards != worker {
+                                continue;
+                            }
+                            let mut nanos = 0u64;
+                            let trace = want_search.then(|| {
+                                let search = search.as_ref().expect("want_search implies a policy");
+                                let started = profiling.then(Instant::now);
+                                let trace = snapshot.search(search, scratch, *provider, wants);
+                                if let Some(started) = started {
+                                    nanos = started.elapsed().as_nanos() as u64;
+                                }
+                                trace
+                            });
+                            let queue = snapshot.build_serve_queue(*provider);
+                            *slots[index].lock().expect("a worker panicked mid-batch") =
+                                Some((trace, queue, nanos));
+                        }
+                    });
+                }
+            });
+        }
+        self.shard_scratches = scratches;
+
+        let generation = self.graph.generation();
+        let world_epoch = self.world_epoch;
+        let mut providers = HashMap::with_capacity(tasks.len());
+        for ((provider, wants, _), slot) in tasks.into_iter().zip(slots) {
+            let (trace, serve_queue, nanos) = slot
+                .into_inner()
+                .expect("a worker panicked mid-batch")
+                .expect("every task slot is filled by its worker");
+            if profiling {
+                self.ring_search_nanos
+                    .set(self.ring_search_nanos.get() + nanos);
+                if trace.is_some() {
+                    self.ring_searches.set(self.ring_searches.get() + 1);
+                }
+            }
+            providers.insert(
+                provider,
+                PlannedProvider {
+                    wants,
+                    trace,
+                    serve_queue: Some(serve_queue),
+                    generation,
+                    world_epoch,
+                },
+            );
+        }
+        Some(BatchPlan { providers })
+    }
+
+    /// The sharded main loop: event semantics identical to the sequential
+    /// loop, with same-timestamp `TrySchedule` runs planned in parallel and
+    /// merged in queue order.
+    pub(super) fn run_event_loop_sharded(&mut self, mut profile: Option<&mut PhaseProfile>) {
+        let loop_start = Instant::now();
+        while let Some(event) = self.engine.next() {
+            match event {
+                Event::TrySchedule(first) => {
+                    let batch = self.collect_try_schedule_batch(first);
+                    let planning = profile.is_some().then(Instant::now);
+                    let mut plan = self.plan_batch(&batch);
+                    if let (Some(profile), Some(started)) = (profile.as_deref_mut(), planning) {
+                        profile.shard_planning += started.elapsed();
+                    }
+                    for &provider in &batch {
+                        let planned = plan.as_mut().and_then(|p| p.provider_mut(provider));
+                        match profile.as_deref_mut() {
+                            Some(profile) => {
+                                profile.events += 1;
+                                let started = Instant::now();
+                                self.handle_try_schedule_planned(provider, planned);
+                                profile.scheduling += started.elapsed();
+                            }
+                            None => self.handle_try_schedule_planned(provider, planned),
+                        }
+                    }
+                }
+                other => match profile.as_deref_mut() {
+                    Some(profile) => self.dispatch_profiled(other, profile),
+                    None => self.dispatch(other),
+                },
+            }
+        }
+        if let Some(profile) = profile {
+            profile.event_loop = loop_start.elapsed();
+        }
+    }
+}

@@ -316,14 +316,19 @@ impl Simulation {
         self.graph.remove_object_requests(downloader, object);
         if !ciphertext {
             // The object enters the downloader's store (it may be evicted
-            // later by the periodic maintenance pass).  The downloader can
-            // now close rings it could not before, so any cached search that
-            // probed it *for this object* is stale — entries wanting other
-            // objects survive.  Ciphertext never enters storage: the
-            // downloader holds bytes it cannot decrypt, let alone re-serve.
+            // later by the lazily scheduled maintenance pass).  The
+            // downloader can now close rings it could not before, so any
+            // cached search that probed it *for this object* is stale —
+            // entries wanting other objects survive.  Ciphertext never
+            // enters storage: the downloader holds bytes it cannot decrypt,
+            // let alone re-serve.
             self.peer_mut(downloader).storage.insert(object);
+            self.world_epoch += 1;
             self.index_holding_gained(downloader, object);
             self.ring_cache.invalidate_holding(downloader, object);
+            // Storage only grows past capacity here: materialise a
+            // maintenance event at the peer's next wheel boundary if needed.
+            self.schedule_maintenance_if_over_capacity(downloader);
         }
 
         // Terminate every session that was delivering this object.
@@ -337,7 +342,12 @@ impl Simulation {
         }
         self.downloads_by_want.remove(&(downloader, object));
 
-        // Free request budget: ask for something new right away.
+        // Free request budget: ask for something new right away.  (Bypasses
+        // the retry dedup deliberately — a completion must never wait on a
+        // retry scheduled hundreds of seconds out.  The queued counter keeps
+        // the chain singular afterwards: the pass that fires while another
+        // event is still pending will not re-arm.)
+        self.generate_queued[downloader.as_usize()] += 1;
         self.engine
             .schedule_now(Event::GenerateRequests(downloader));
     }

@@ -27,7 +27,7 @@ fn random_graph(peers: u32, edges: usize, seed: u64) -> RequestGraph<u32, u32> {
 /// Ownership oracle used across the tests: peer `p` owns object `o` iff
 /// `(p + o)` is divisible by 7 — arbitrary but deterministic and sparse.
 fn owns(p: &u32, o: &u32) -> bool {
-    (p + o).is_multiple_of(7)
+    (p + o) % 7 == 0
 }
 
 #[test]

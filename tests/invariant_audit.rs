@@ -100,6 +100,27 @@ fn audit_passes_under_every_scheduler() {
 }
 
 #[test]
+fn audit_passes_for_sharded_runs_and_matches_sequential() {
+    // The audited sharded loop re-checks every invariant after each merged
+    // event — including cache-vs-fresh exactness right after a precomputed
+    // trace was substituted, and the maintenance-wheel capacity invariant.
+    let mut config = audit_config();
+    config.num_peers = 24;
+    config.shards = 3;
+    let sharded = Simulation::new(config.clone(), 4).run_audited();
+    config.shards = 1;
+    let sequential = Simulation::new(config, 4).run_audited();
+    assert_eq!(
+        sharded.completed_downloads(),
+        sequential.completed_downloads()
+    );
+    assert_eq!(sharded.total_sessions(), sequential.total_sessions());
+    assert_eq!(sharded.total_rings(), sequential.total_rings());
+    assert_eq!(sharded.ring_cache_stats(), sequential.ring_cache_stats());
+    assert!(sharded.total_sessions() > 0);
+}
+
+#[test]
 fn check_report_validates_finished_runs() {
     let report = Simulation::new(audit_config(), 2).run();
     audit::check_report(&report).expect("a finished run's report must balance");

@@ -230,6 +230,34 @@ fn cached_and_uncached_runs_produce_identical_reports_at_both_granularities() {
 }
 
 #[test]
+fn sharded_cached_runs_still_equal_uncached_runs() {
+    // The three-way identity behind the sharded engine: a sharded cached run
+    // equals a sequential cached run equals an uncached run — at both
+    // granularities the shard planner has to predict hits for, with the
+    // merge replaying the lookups.
+    for granularity in [CacheGranularity::Provider, CacheGranularity::Entry] {
+        let mut config = SimConfig::quick_test();
+        config.discipline = ExchangePolicy::two_five_way();
+        config.ring_cache_granularity = granularity;
+        let mut uncached_config = config.clone();
+        uncached_config.ring_candidate_cache = false;
+        let without_cache = run(uncached_config, false, 31);
+        let mut sharded_config = config;
+        sharded_config.shards = 4;
+        let sharded_cached = run(sharded_config, true, 31);
+        assert_eq!(
+            fingerprint(&sharded_cached),
+            fingerprint(&without_cache),
+            "sharded cached run diverged from the uncached baseline ({granularity:?})"
+        );
+        assert!(
+            sharded_cached.ring_cache_stats().hits > 0,
+            "the sharded run must actually reuse entries ({granularity:?})"
+        );
+    }
+}
+
+#[test]
 fn entry_invalidation_is_lazier_across_whole_runs() {
     // Same simulation, same seed: the entry-granularity run must drop fewer
     // entries and hit at least as often as the provider-granularity run.

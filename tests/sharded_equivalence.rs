@@ -1,0 +1,171 @@
+//! Sharded scheduling must be invisible in the results: for every shard
+//! count, cache granularity, behavior mix, protection and scheduler, a
+//! sharded run's report — ring-cache hit/miss/invalidation counters
+//! included — is bit-identical to the sequential engine on the same seed.
+//! The shards knob buys wall-clock on multi-core hosts, never accuracy.
+
+use p2p_exchange::exchange::ExchangePolicy;
+use p2p_exchange::sim::{
+    BehaviorKind, BehaviorMix, CacheGranularity, PeerClass, Protection, SchedulerKind, SessionKind,
+    SimConfig, SimReport, Simulation,
+};
+
+/// An exhaustive comparable fingerprint of one run, down to the cache
+/// counters (which only match if the merge replays the exact sequential
+/// order of lookups, stores and invalidations).
+fn fingerprint(report: &SimReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        (
+            report.completed_downloads(),
+            report.total_sessions(),
+            report.session_counts().clone(),
+            report.session_end_counts().clone(),
+            report.observed_kinds(),
+        ),
+        (
+            report.total_rings(),
+            report.rings_formed().clone(),
+            report.token_declines(),
+            report.rings_dissolved_at_activation(),
+            report.preemptions(),
+            report.ring_cache_stats(),
+        ),
+        (
+            report.mean_download_time_min(PeerClass::Sharing),
+            report.mean_download_time_min(PeerClass::NonSharing),
+            report.mean_volume_per_peer_mb(PeerClass::Sharing),
+            report.mean_volume_per_peer_mb(PeerClass::NonSharing),
+            report.mean_waiting_secs(SessionKind::NonExchange),
+            report.mean_session_bytes(SessionKind::NonExchange),
+        ),
+    )
+}
+
+fn run_with_shards(mut config: SimConfig, shards: usize, seed: u64) -> SimReport {
+    config.shards = shards;
+    Simulation::new(config, seed).run()
+}
+
+/// A configuration busy enough that batches actually reach the fan-out
+/// threshold (several same-timestamp TrySchedule events per lookup).
+fn busy_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 40;
+    config.sim_duration_s = 2_000.0;
+    config
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_shard_counts() {
+    for seed in [1, 17] {
+        let sequential = run_with_shards(busy_config(), 1, seed);
+        for shards in [2, 3, 8] {
+            let sharded = run_with_shards(busy_config(), shards, seed);
+            assert_eq!(
+                fingerprint(&sharded),
+                fingerprint(&sequential),
+                "shards={shards} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_equivalence_holds_at_every_cache_granularity_and_uncached() {
+    for granularity in [CacheGranularity::Provider, CacheGranularity::Entry] {
+        let mut config = busy_config();
+        config.ring_cache_granularity = granularity;
+        let sequential = run_with_shards(config.clone(), 1, 5);
+        let sharded = run_with_shards(config, 4, 5);
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&sequential),
+            "{granularity:?}"
+        );
+        assert!(
+            sharded.ring_cache_stats().hits > 0,
+            "{granularity:?}: the sharded run must actually exercise the cache"
+        );
+    }
+    let mut config = busy_config();
+    config.ring_candidate_cache = false;
+    let sequential = run_with_shards(config.clone(), 1, 5);
+    let sharded = run_with_shards(config, 4, 5);
+    assert_eq!(fingerprint(&sharded), fingerprint(&sequential), "uncached");
+}
+
+#[test]
+fn sharded_equivalence_holds_under_adversarial_mixes_and_protections() {
+    let adversarial = BehaviorMix::weighted([
+        (BehaviorKind::Honest, 0.4),
+        (BehaviorKind::FreeRider, 0.2),
+        (BehaviorKind::JunkSender, 0.15),
+        (BehaviorKind::ParticipationCheater, 0.1),
+        (BehaviorKind::Middleman, 0.15),
+    ]);
+    for protection in [
+        Protection::None,
+        Protection::Windowed { max_window: 4 },
+        Protection::Mediated,
+    ] {
+        let mut config = busy_config();
+        config.behaviors = adversarial.clone();
+        config.protection = protection;
+        let sequential = run_with_shards(config.clone(), 1, 9);
+        let sharded = run_with_shards(config, 3, 9);
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&sequential),
+            "{protection:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_equivalence_holds_under_every_scheduler_and_discipline() {
+    for kind in SchedulerKind::all() {
+        let mut config = busy_config();
+        config.sim_duration_s = 1_200.0;
+        config.scheduler = kind;
+        let sequential = run_with_shards(config.clone(), 1, 11);
+        let sharded = run_with_shards(config, 2, 11);
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&sequential),
+            "{}",
+            kind.label()
+        );
+    }
+    for discipline in [
+        ExchangePolicy::NoExchange,
+        ExchangePolicy::Pairwise,
+        ExchangePolicy::five_two_way(),
+    ] {
+        let mut config = busy_config();
+        config.sim_duration_s = 1_200.0;
+        config.discipline = discipline;
+        let sequential = run_with_shards(config.clone(), 1, 13);
+        let sharded = run_with_shards(config, 4, 13);
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&sequential),
+            "{}",
+            discipline.label()
+        );
+    }
+}
+
+#[test]
+fn sharded_profiled_runs_report_identical_results() {
+    let mut config = busy_config();
+    config.shards = 3;
+    let (report, profile) = Simulation::new(config.clone(), 21).run_profiled();
+    config.shards = 1;
+    let (sequential, _) = Simulation::new(config, 21).run_profiled();
+    assert_eq!(fingerprint(&report), fingerprint(&sequential));
+    assert!(profile.events > 0);
+    assert!(
+        profile.shard_planning > std::time::Duration::ZERO,
+        "batches above the fan-out threshold must exist in this workload"
+    );
+}
