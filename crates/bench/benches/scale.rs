@@ -25,10 +25,18 @@
 //!
 //! ```text
 //! cargo bench --bench scale -- --tier 1k                 # CI smoke tier
-//! cargo bench --bench scale -- --tier full --out BENCH_scale.json
+//! cargo bench --bench scale -- --tier all --out BENCH_scale.json
 //! cargo bench --bench scale -- --tier 10k --seeds 1 --shards 8
 //! cargo bench --bench scale -- --tier 100k --shards 8    # always 1 seed
 //! ```
+//!
+//! (`full` is the 1k/5k/10k subset; `all` adds the 100k tier, producing the
+//! complete checked-in `BENCH_scale.json` in one invocation.)
+//!
+//! The JSON also records `calibration_ops_per_s` — the host's rate on a
+//! fixed CPU-bound reference loop ([`bench_support::calibrate_ops_per_s`])
+//! — so the CI regression gate can compare calibrated event rates across
+//! runners of different speeds instead of absolute seconds.
 //!
 //! `--object-mb <n>` (default 1) and `--duration <secs>` (default 1800)
 //! reshape the workload — the defaults reach the steady churn state, with
@@ -319,14 +327,15 @@ fn phase_json(profile: &PhaseProfile) -> String {
     )
 }
 
-fn to_json(tiers: &[TierMeasurement], seeds: usize, shards: usize) -> String {
+fn to_json(tiers: &[TierMeasurement], seeds: usize, shards: usize, calibration: f64) -> String {
     let host_parallelism =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::new();
     let _ = write!(
         out,
         "{{\"bench\":\"scale\",\"seeds\":{seeds},\"shards\":{shards},\
-         \"host_parallelism\":{host_parallelism},\"tiers\":["
+         \"host_parallelism\":{host_parallelism},\
+         \"calibration_ops_per_s\":{calibration:.0},\"tiers\":["
     );
     for (t, tier) in tiers.iter().enumerate() {
         if t > 0 {
@@ -494,11 +503,23 @@ fn main() {
         "10k" => vec![("10k", 10_000)],
         "100k" => vec![("100k", 100_000)],
         "full" => vec![("1k", 1_000), ("5k", 5_000), ("10k", 10_000)],
+        "all" => vec![
+            ("1k", 1_000),
+            ("5k", 5_000),
+            ("10k", 10_000),
+            ("100k", 100_000),
+        ],
         other => {
-            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|100k|full)");
+            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|100k|full|all)");
             std::process::exit(2);
         }
     };
+
+    // Measure the machine yardstick before the tiers run: the host is idle
+    // and thermally unexcited here, matching how the reference loop behaves
+    // on a fresh CI runner.
+    let calibration = bench_support::calibrate_ops_per_s();
+    eprintln!("calibration: {:.0} reference ops/s", calibration);
 
     let tiers: Vec<TierMeasurement> = selected
         .into_iter()
@@ -515,7 +536,7 @@ fn main() {
         })
         .collect();
 
-    let json = to_json(&tiers, seed_list.len(), options.shards);
+    let json = to_json(&tiers, seed_list.len(), options.shards, calibration);
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| {

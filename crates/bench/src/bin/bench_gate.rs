@@ -1,16 +1,27 @@
 //! CI bench-regression gate.
 //!
-//! Compares the per-phase wall-clock timings of a fresh `scale` bench run
-//! (the CI 1k smoke) against the checked-in `BENCH_scale.json` baseline and
-//! exits non-zero when any phase regressed by more than the tolerance —
-//! turning the benchmark trajectory from a write-only artifact into an
-//! enforced gate.
+//! Compares a fresh `scale` bench run (the CI 1k smoke) against the
+//! checked-in `BENCH_scale.json` baseline and exits non-zero when any phase
+//! regressed by more than the tolerance — turning the benchmark trajectory
+//! from a write-only artifact into an enforced gate.
 //!
 //! ```text
 //! cargo run --release -p exchange-bench --bin bench_gate -- \
 //!     --baseline BENCH_scale.json --current /tmp/bench_scale_smoke.json \
 //!     [--tier 1k] [--mode entry-warm] [--tolerance 0.25] [--min-phase-s 0.05]
 //! ```
+//!
+//! **What is compared.** When both files carry `calibration_ops_per_s`
+//! (the host's rate on a fixed CPU-bound reference loop, recorded by the
+//! scale bench next to its timings), the gate compares **calibrated event
+//! rates**: each phase's `events / phase_s`, with the current run rescaled
+//! by `current_calibration / baseline_calibration` into baseline-machine
+//! units.  A CI runner that is uniformly 2× slower halves the event rate
+//! *and* the reference-loop rate, so the calibrated ratio is unchanged and
+//! the gate survives hardware drift — while a real per-event cost
+//! regression moves only the numerator and still trips it.  When either
+//! file predates calibration, the gate falls back to the legacy
+//! absolute-seconds comparison.
 //!
 //! Phase values are averaged across each file's runs, so a 1-seed smoke is
 //! comparable against a 2-seed baseline.  Phases below `--min-phase-s` in
@@ -228,9 +239,19 @@ impl<'a> Parser<'a> {
 
 // ---- gate logic ------------------------------------------------------------
 
+/// One side (baseline or current) of the comparison: per-phase mean
+/// seconds, the mean event count, and the file's machine calibration.
+struct Side {
+    phases: BTreeMap<String, f64>,
+    /// Mean `phases.events` across runs; `None` for pre-events baselines.
+    events: Option<f64>,
+    /// Top-level `calibration_ops_per_s`; `None` for pre-calibration files.
+    calibration: Option<f64>,
+}
+
 /// Per-phase mean seconds of one (tier, mode) across its runs, `run_s`
 /// included under the pseudo-phase name `run`.
-fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<BTreeMap<String, f64>, String> {
+fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<Side, String> {
     let tiers = root
         .get("tiers")
         .and_then(Json::as_array)
@@ -255,6 +276,8 @@ fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<BTreeMap<String, f
         return Err(format!("tier '{tier}' mode '{mode}' has no runs"));
     }
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut events_sum = 0.0f64;
+    let mut events_n = 0usize;
     for run in runs {
         if let Some(run_s) = run.get("run_s").and_then(Json::as_f64) {
             let entry = sums.entry("run".into()).or_default();
@@ -264,6 +287,10 @@ fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<BTreeMap<String, f
         let Some(Json::Object(phases)) = run.get("phases") else {
             continue;
         };
+        if let Some(events) = phases.get("events").and_then(Json::as_f64) {
+            events_sum += events;
+            events_n += 1;
+        }
         for (key, value) in phases {
             let Some(seconds) = value.as_f64() else {
                 continue;
@@ -275,10 +302,17 @@ fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<BTreeMap<String, f
             }
         }
     }
-    Ok(sums
-        .into_iter()
-        .map(|(name, (sum, n))| (name, sum / n as f64))
-        .collect())
+    Ok(Side {
+        phases: sums
+            .into_iter()
+            .map(|(name, (sum, n))| (name, sum / n as f64))
+            .collect(),
+        events: (events_n > 0).then(|| events_sum / events_n as f64),
+        calibration: root
+            .get("calibration_ops_per_s")
+            .and_then(Json::as_f64)
+            .filter(|c| *c > 0.0),
+    })
 }
 
 fn usage() -> ! {
@@ -334,7 +368,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (baseline_phases, current_phases) = match (
+    let (base_side, now_side) = match (
         phase_means(&baseline, &tier, &mode),
         phase_means(&current, &tier, &mode),
     ) {
@@ -345,32 +379,66 @@ fn main() -> ExitCode {
         }
     };
 
+    // Calibrated mode needs the machine yardstick in BOTH files and event
+    // counts in both; anything older falls back to absolute seconds.
+    let calibrated = match (
+        base_side.calibration,
+        now_side.calibration,
+        base_side.events,
+        now_side.events,
+    ) {
+        (Some(bc), Some(nc), Some(be), Some(ne)) => Some((bc, nc, be, ne)),
+        _ => None,
+    };
+
     println!(
-        "bench_gate: tier {tier}, mode {mode}, tolerance {:.0}%",
-        tolerance * 100.0
+        "bench_gate: tier {tier}, mode {mode}, tolerance {:.0}%, {}",
+        tolerance * 100.0,
+        match calibrated {
+            Some((bc, nc, ..)) => format!("calibrated events/s (machine ratio {:.2}x)", nc / bc),
+            None => "absolute seconds (no calibration in one side)".to_string(),
+        }
     );
+    let unit = if calibrated.is_some() { "kev/s" } else { "s" };
     println!(
-        "{:<20} {:>10} {:>10} {:>8}  verdict",
-        "phase", "baseline", "current", "ratio"
+        "{:<20} {:>12} {:>12} {:>8}  verdict",
+        "phase",
+        format!("base {unit}"),
+        format!("cur {unit}"),
+        "ratio"
     );
     let mut regressions = 0usize;
-    for (name, &base) in &baseline_phases {
-        let Some(&now) = current_phases.get(name) else {
+    for (name, &base) in &base_side.phases {
+        let Some(&now) = now_side.phases.get(name) else {
             continue; // a phase the current profile no longer reports
         };
         if base < min_phase_s && now < min_phase_s {
             println!(
-                "{name:<20} {base:>9.3}s {now:>9.3}s {:>8}  skipped (both < {min_phase_s}s)",
-                "-"
+                "{name:<20} {:>12} {:>12} {:>8}  skipped (both < {min_phase_s}s)",
+                "-", "-", "-"
             );
             continue;
         }
-        // Guard tiny baselines with the floor so a 1 ms phase cannot fail
-        // the gate by becoming 2 ms.
-        let ratio = now / base.max(min_phase_s);
+        // In both modes the floor guards tiny denominators so a 1 ms phase
+        // cannot fail the gate by becoming 2 ms.
+        let (base_val, now_val, ratio) = match calibrated {
+            Some((base_calib, now_calib, base_events, now_events)) => {
+                // Event rates, the current run rescaled into the baseline
+                // machine's units; regression = the calibrated rate fell.
+                let base_rate = base_events / base.max(min_phase_s) / 1000.0;
+                let now_rate =
+                    now_events / now.max(min_phase_s) / 1000.0 * (base_calib / now_calib);
+                (
+                    base_rate,
+                    now_rate,
+                    base_rate / now_rate.max(f64::MIN_POSITIVE),
+                )
+            }
+            None => (base, now, now / base.max(min_phase_s)),
+        };
         let regressed = ratio > 1.0 + tolerance;
         println!(
-            "{name:<20} {base:>9.3}s {now:>9.3}s {ratio:>7.2}x  {}",
+            "{name:<20} {base_val:>12.3} {now_val:>12.3} {ratio:>7.2}x  {}",
             if regressed { "REGRESSED" } else { "ok" }
         );
         regressions += usize::from(regressed);

@@ -129,6 +129,49 @@ impl FigureOptions {
     }
 }
 
+/// A machine-speed yardstick for the bench-regression gate: iterations per
+/// second of a fixed integer-arithmetic reference loop on this host.
+///
+/// The `scale` bench records this next to its wall-clock timings so that
+/// [`bench_gate`](../bin/bench_gate.rs) can compare **calibrated event
+/// rates** (`events / phase_s / calibration`) instead of absolute seconds:
+/// when CI moves to a runner that is uniformly 2× slower, every phase time
+/// doubles but so does the reference loop, and the gate still passes — while
+/// a real per-event cost regression moves the ratio and still trips it.
+///
+/// The loop is xorshift64* state mixing: pure register arithmetic with no
+/// memory traffic, so the measured rate tracks scalar CPU speed — the same
+/// resource the single-threaded event loop is bound by — rather than cache
+/// or memory-bandwidth effects.  One warm-up pass absorbs frequency
+/// scaling; the best of three timed passes is kept, the maximum being the
+/// estimate least contaminated by scheduler noise.
+#[must_use]
+pub fn calibrate_ops_per_s() -> f64 {
+    use std::hint::black_box;
+    use std::time::Instant;
+    const OPS: u64 = 50_000_000;
+    fn reference(ops: u64) -> u64 {
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        for _ in 0..ops {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+    black_box(reference(black_box(OPS / 10)));
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let started = Instant::now();
+        black_box(reference(black_box(OPS)));
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            best = best.max(OPS as f64 / elapsed);
+        }
+    }
+    best
+}
+
 /// Formats an optional aggregated mean (in minutes) for table output.
 #[must_use]
 pub fn fmt_minutes(value: Option<Aggregate>) -> String {
@@ -222,6 +265,17 @@ mod tests {
         assert!((config.sim_duration_s - 0.1 * 48.0 * 3600.0).abs() < 1e-6);
         assert_eq!(config.workload.object_size_bytes, 5 * 1024 * 1024);
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn calibration_is_positive_and_repeatable_in_order_of_magnitude() {
+        let a = calibrate_ops_per_s();
+        let b = calibrate_ops_per_s();
+        assert!(a.is_finite() && a > 0.0, "calibration not positive: {a}");
+        // Back-to-back runs on the same host agree well within 10× — the
+        // gate only needs the yardstick to track machine speed coarsely.
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 10.0, "calibration unstable: {a} vs {b}");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! A small Rust lexer: just enough to walk this workspace's sources without
+//! being fooled by comments, string/char literals, or lifetimes.
+//!
+//! The lint rules match on token shapes, so correctness here means two
+//! things: (1) nothing inside a comment or literal ever becomes a code
+//! token, and (2) comments are preserved (with line numbers) because the
+//! suppression mechanism and the `// SAFETY:` rule read them.
+//!
+//! This is deliberately not a full Rust lexer — no float-suffix pedantry, no
+//! shebang handling — but it understands the constructs that actually occur
+//! in the workspace: nested block comments, raw strings with `#` fences,
+//! byte/C strings, char literals (including escapes), and the `'a` vs `'a'`
+//! lifetime/char ambiguity.
+
+/// What a token is; the text is carried alongside in [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `in`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Integer or float literal (value never matters to the rules).
+    Number,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Any single punctuation character (`.`, `:`, `[`, `&`, ...).
+    Punct,
+}
+
+/// One code token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes()[0] as char == ch
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// One comment (line or block) with the line its first character is on.
+/// Line comments keep the `//`; block comments keep the `/* */` fences.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexed file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // String-prefix check: is `word` a valid literal prefix (b, r, c, br, cr)?
+    fn is_string_prefix(word: &str) -> bool {
+        matches!(word, "b" | "r" | "c" | "br" | "cr" | "rb" | "rc")
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (text, consumed, newlines) = scan_string(&source[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'\'' => {
+                // Lifetime vs char literal. A char literal is `'` followed by
+                // either an escape, or exactly one char then `'`. Everything
+                // else (`'a`, `'static`, `'_`) is a lifetime.
+                let rest = &source[i + 1..];
+                let mut chars = rest.chars();
+                let first = chars.next();
+                let second = chars.next();
+                let is_char = match first {
+                    Some('\\') => true,
+                    Some(_) => second == Some('\''),
+                    None => false,
+                };
+                if is_char {
+                    let (text, consumed, newlines) = scan_char(&source[i..]);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text,
+                        line,
+                    });
+                    line += newlines;
+                    i += consumed;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                // `r"..."`, `b"..."`, `r#"..."#`, `br#"..."#`, `c"..."` —
+                // the "identifier" is actually a string-literal prefix.
+                let next = bytes.get(i).copied();
+                if is_string_prefix(word) && (next == Some(b'"') || next == Some(b'#')) {
+                    let raw = word.contains('r');
+                    if raw || next == Some(b'"') {
+                        let (text, consumed, newlines) = if raw {
+                            scan_raw_string(&source[i..])
+                        } else {
+                            let (t, c, n) = scan_string(&source[i..]);
+                            (t, c, n)
+                        };
+                        // `b#` with no string would consume nothing; fall
+                        // through to ident in that case.
+                        if consumed > 0 {
+                            out.tokens.push(Token {
+                                kind: TokenKind::Str,
+                                text: format!("{word}{text}"),
+                                line,
+                            });
+                            line += newlines;
+                            i += consumed;
+                            continue;
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: word.to_string(),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c == b'_' || c.is_ascii_alphanumeric() {
+                        i += 1;
+                    } else if c == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && bytes.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        // `1.5` continues the number; `1..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"..."` string starting at the opening quote. Returns the literal
+/// text, bytes consumed, and newlines crossed.
+fn scan_string(src: &str) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                return (src[..i].to_string(), i, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src.to_string(), bytes.len(), newlines)
+}
+
+/// Scans a raw string starting at the `#` fence or opening quote (the `r`
+/// prefix has already been consumed): `#*"..."#*`.
+fn scan_raw_string(src: &str) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut hashes = 0usize;
+    while bytes.get(hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    if bytes.get(hashes) != Some(&b'"') {
+        return (String::new(), 0, 0);
+    }
+    let mut i = hashes + 1;
+    let mut newlines = 0u32;
+    let closing: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while i < bytes.len() {
+        if bytes[i] == b'"' && bytes[i..].starts_with(&closing) {
+            let end = i + closing.len();
+            return (src[..end].to_string(), end, newlines);
+        }
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (src.to_string(), bytes.len(), newlines)
+}
+
+/// Scans a `'x'` char literal starting at the opening quote.
+fn scan_char(src: &str) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'\'');
+    let mut i = 1usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                i += 1;
+                return (src[..i].to_string(), i, 0);
+            }
+            _ => i += 1,
+        }
+    }
+    (src.to_string(), bytes.len(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_never_become_tokens() {
+        let lexed = lex("let a = 1; // HashMap::iter()\n/* for x in map */ let b = 2;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap.iter() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokenKind::Str || t != "HashMap"));
+        let lexed = lex(r#"let s = "a // b";"#);
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let b = b"bytes";"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        // The identifier before `=` survives; `r`/`b` never appear as idents.
+        assert!(toks.iter().any(|(_, t)| t == "s"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\"two\nline\"\nc");
+        let c = lexed.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn number_vs_range() {
+        let toks = kinds("for i in 1..=10 { let f = 2.5; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "2.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+    }
+}

@@ -1,0 +1,123 @@
+//! `exchange-lint` CLI.
+//!
+//! ```text
+//! cargo run -p exchange-lint -- --workspace --deny
+//! cargo run -p exchange-lint -- crates/sim/src/simulation/mod.rs
+//! cargo run -p exchange-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (errors always; warnings too under
+//! `--deny`), 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use exchange_lint::{find_workspace_root, lint_source, lint_workspace, Severity, RULES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exchange-lint [--workspace | <file.rs>...] [--root <dir>] [--deny] [--list-rules]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else { usage() };
+                root_arg = Some(PathBuf::from(dir));
+                i += 1;
+            }
+            flag if flag.starts_with('-') => usage(),
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    if list_rules {
+        println!("{:<6} {:<8} summary", "rule", "severity");
+        for rule in RULES {
+            println!(
+                "{:<6} {:<8} {}",
+                rule.id,
+                rule.severity.to_string(),
+                rule.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        usage();
+    }
+
+    let root = root_arg
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|cwd| find_workspace_root(&cwd))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let diagnostics = if workspace {
+        match lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("exchange-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for path in &paths {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("exchange-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            // Scope rules by the path relative to the workspace root, so
+            // linting a single file behaves identically to the walk.
+            let rel = path
+                .canonicalize()
+                .ok()
+                .and_then(|abs| abs.strip_prefix(&root).map(|r| r.to_path_buf()).ok())
+                .unwrap_or_else(|| path.clone());
+            out.extend(lint_source(
+                &rel.to_string_lossy().replace('\\', "/"),
+                &source,
+            ));
+        }
+        out
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for diagnostic in &diagnostics {
+        println!("{diagnostic}");
+        match diagnostic.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+    eprintln!(
+        "exchange-lint: {} file scope, {errors} error(s), {warnings} warning(s)",
+        if workspace { "workspace" } else { "path" }
+    );
+    if errors > 0 || (deny && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

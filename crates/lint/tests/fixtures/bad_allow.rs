@@ -1,0 +1,17 @@
+//! E001 fixture: a reason-less allow is an error AND does not suppress.
+//! Linted under the synthetic path `crates/des/src/fixture.rs`.
+use std::time::Instant;
+
+pub fn violation() -> Instant {
+    // exchange-lint: allow(D002) <- E001
+    Instant::now() // <- D002
+}
+
+pub fn empty_reason() -> Instant {
+    // exchange-lint: allow(D002, reason = "") <- E001
+    Instant::now() // <- D002
+}
+
+pub fn malformed() {
+    // exchange-lint: please ignore this file <- E001
+}

@@ -1,0 +1,49 @@
+//! D001 fixture: HashMap/HashSet iteration in a sim-state crate.
+//! Linted under the synthetic path `crates/sim/src/fixture.rs`.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pub by_peer: HashMap<u32, u64>,
+}
+
+pub fn violation_for_loop(state: &State) -> u64 {
+    let mut total = 0;
+    for (_peer, bytes) in &state.by_peer { // <- D001
+        total += bytes;
+    }
+    total
+}
+
+pub fn violation_method(seen: &HashSet<u32>) -> usize {
+    seen.iter().count() // <- D001
+}
+
+pub fn violation_ctor() -> Vec<u32> {
+    let mut scratch = HashMap::new();
+    scratch.insert(1u32, 2u32);
+    scratch.into_keys().collect() // <- D001
+}
+
+pub fn membership_is_fine(state: &State) -> bool {
+    state.by_peer.contains_key(&7) && state.by_peer.get(&7).is_some()
+}
+
+pub fn suppressed(state: &State) -> Vec<u32> {
+    let mut keys: Vec<u32> = state
+        .by_peer
+        // exchange-lint: allow(D001, reason = "sorted on the line below before use")
+        .keys()
+        .copied()
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for _ in map.iter() {}
+    }
+}

@@ -1,0 +1,24 @@
+//! D002 fixture: wall-clock reads outside the bench crate.
+//! Linted under the synthetic path `crates/des/src/fixture.rs`.
+use std::time::{Instant, SystemTime};
+
+pub fn violation_instant() -> Instant {
+    Instant::now() // <- D002
+}
+
+pub fn violation_system_time() -> SystemTime {
+    std::time::SystemTime::now() // <- D002
+}
+
+pub fn suppressed() -> Instant {
+    // exchange-lint: allow(D002, reason = "fixture: profiling-only read, never feeds sim state")
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,20 @@
+//! D004 fixture: float accumulation chained onto an unordered iterator.
+//! Linted under the synthetic path `crates/workload/src/fixture.rs`.
+use std::collections::HashMap;
+
+pub fn violation_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>() // <- D001 D004
+}
+
+pub fn violation_fold(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0, |acc, w| acc + w) // <- D001 D004
+}
+
+pub fn integer_sum_is_d001_only(counts: &HashMap<u32, u64>) -> u64 {
+    counts.values().sum::<u64>() // <- D001
+}
+
+pub fn suppressed(weights: &HashMap<u32, f64>) -> f64 {
+    // exchange-lint: allow(D001, reason = "fixture: order-insensitive Kahan pass") allow(D004, reason = "fixture: compensated summation")
+    weights.values().sum::<f64>()
+}

@@ -1,0 +1,39 @@
+//! H001 fixture: panicking accessors in the event-loop modules.
+//! Linted under the synthetic path `crates/sim/src/simulation/events.rs`;
+//! the same content linted as `crates/sim/src/events.rs` must be clean.
+
+pub fn violation_unwrap(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // <- H001
+}
+
+pub fn violation_empty_expect(xs: &[u64]) -> u64 {
+    xs.get(1).copied().expect("") // <- H001
+}
+
+pub fn violation_indexing(xs: &[u64], i: usize) -> u64 {
+    xs[i] // <- H001
+}
+
+pub struct PeerId(u32);
+impl PeerId {
+    pub fn as_usize(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+pub fn dense_id_idiom_is_fine(per_peer: &[u64], peer: PeerId) -> u64 {
+    per_peer[peer.as_usize()]
+}
+
+pub fn full_range_is_fine(xs: &[u64]) -> &[u64] {
+    &xs[..]
+}
+
+pub fn expect_with_invariant_is_fine(xs: &[u64]) -> u64 {
+    *xs.first().expect("the caller registered at least one peer")
+}
+
+pub fn suppressed(xs: &[u64], i: usize) -> u64 {
+    // exchange-lint: allow(H001, reason = "fixture: index produced by enumerate over this slice")
+    xs[i]
+}

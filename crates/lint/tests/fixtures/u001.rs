@@ -1,0 +1,28 @@
+//! U001 fixture: `unsafe` must carry a `// SAFETY:` comment.
+//! Linted under the synthetic path `crates/netsim/src/fixture.rs`.
+
+pub unsafe fn violation(ptr: *const u8) -> u8 { // <- U001
+    *ptr
+}
+
+// SAFETY: the caller guarantees `ptr` is valid for reads of one byte.
+pub unsafe fn documented(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn block_violation() {
+    let xs = [1u8, 2];
+    let _ = unsafe { *xs.as_ptr() }; // <- U001
+}
+
+pub fn block_documented() {
+    let xs = [1u8, 2];
+    // SAFETY: the array has two elements, so its base pointer is readable.
+    let _ = unsafe { *xs.as_ptr() };
+}
+
+pub fn suppressed() {
+    let xs = [1u8, 2];
+    // exchange-lint: allow(U001, reason = "fixture: proves the allow mechanism covers U001")
+    let _ = unsafe { *xs.as_ptr() };
+}

@@ -1,0 +1,7 @@
+//! W001 fixture: an allow (with reason) that suppresses nothing is stale.
+//! Linted under the synthetic path `crates/des/src/fixture.rs`.
+
+// exchange-lint: allow(D002, reason = "nothing below reads a clock, so this is stale") <- W001
+pub fn nothing_to_suppress() -> u32 {
+    7
+}

@@ -14,6 +14,11 @@
 //!   exists only for peers actually over capacity, scheduled for exactly the
 //!   boundary the per-peer-event baseline would have evicted at.
 
+// The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
+// every panicking access carries an `.expect()` stating the invariant that
+// makes it unreachable.  Clippy enforces the same contract at module level.
+#![deny(clippy::unwrap_used, clippy::get_unwrap)]
+
 use des::SimDuration;
 use workload::{ObjectId, PeerId};
 

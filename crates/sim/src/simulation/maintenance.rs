@@ -25,6 +25,11 @@
 //! arithmetic — the property test below checks it against a literally
 //! replayed baseline schedule.
 
+// The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
+// every panicking access carries an `.expect()` stating the invariant that
+// makes it unreachable.  Clippy enforces the same contract at module level.
+#![deny(clippy::unwrap_used, clippy::get_unwrap)]
+
 use des::{SimDuration, SimTime};
 
 /// Offset between consecutive peers' maintenance phases, in seconds (the

@@ -434,6 +434,7 @@ impl Simulation {
     /// [`dispatch`](Self::dispatch) with per-phase wall-clock attribution.
     fn dispatch_profiled(&mut self, event: Event, profile: &mut PhaseProfile) {
         profile.events += 1;
+        // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
         let start = Instant::now();
         match event {
             Event::Arrive(peer) => {
@@ -469,6 +470,7 @@ impl Simulation {
         if self.config.shards > 1 {
             self.run_event_loop_sharded(Some(&mut profile));
         } else {
+            // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
             let loop_start = Instant::now();
             while let Some(event) = self.engine.next() {
                 self.dispatch_profiled(event, &mut profile);
@@ -485,7 +487,9 @@ impl Simulation {
         // Teardown walks only the open-transfer set the simulation already
         // tracks; the event queue it drops alongside is demand-driven (no
         // O(peers) standing maintenance/retry entries to deallocate).
-        let open: Vec<TransferId> = self.transfers.keys().copied().collect();
+        // exchange-lint: allow(D001, reason = "drained into a sorted Vec on the next line; teardown runs in TransferId order")
+        let mut open: Vec<TransferId> = self.transfers.keys().copied().collect();
+        open.sort_unstable();
         for tid in open {
             self.end_transfer(tid, SessionEnd::HorizonReached);
         }

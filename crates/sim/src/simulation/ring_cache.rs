@@ -245,12 +245,17 @@ impl RingCandidateCache {
             // Entry granularity keeps no full-deps reverse index; whole-peer
             // kills are rare (sharing never toggles mid-run), so a scan over
             // the live entries is the right trade.
-            CacheGranularity::Entry => self
-                .entries
-                .iter()
-                .filter(|(_, entry)| entry.deps.binary_search(&peer).is_ok())
-                .map(|(root, _)| *root)
-                .collect(),
+            CacheGranularity::Entry => {
+                let mut roots: Vec<PeerId> = self
+                    .entries
+                    // exchange-lint: allow(D001, reason = "sorted before use below; removals then run in root order")
+                    .iter()
+                    .filter(|(_, entry)| entry.deps.binary_search(&peer).is_ok())
+                    .map(|(root, _)| *root)
+                    .collect();
+                roots.sort_unstable();
+                roots
+            }
         };
         for root in affected {
             if self.remove_entry(root) {
@@ -413,17 +418,24 @@ impl RingCandidateCache {
         true
     }
 
-    /// Iterates over the live entries, in no particular order.
+    /// Iterates over the live entries in ascending root order, so callers
+    /// observe a deterministic sequence regardless of hash seeding.
     ///
     /// Used by the invariant audit to re-verify every cached search against
     /// a fresh one; the views borrow the cache.
     pub fn iter_entries(&self) -> impl Iterator<Item = CachedEntry<'_>> {
-        self.entries.iter().map(|(root, entry)| CachedEntry {
-            root: *root,
-            wants: &entry.wants,
-            rings: &entry.rings,
-            deps: &entry.deps,
-            edge_deps: &entry.edge_deps,
+        // exchange-lint: allow(D001, reason = "keys are sorted before any entry is yielded")
+        let mut roots: Vec<PeerId> = self.entries.keys().copied().collect();
+        roots.sort_unstable();
+        roots.into_iter().map(move |root| {
+            let entry = &self.entries[&root];
+            CachedEntry {
+                root,
+                wants: &entry.wants,
+                rings: &entry.rings,
+                deps: &entry.deps,
+                edge_deps: &entry.edge_deps,
+            }
         })
     }
 

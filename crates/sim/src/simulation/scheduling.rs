@@ -1,6 +1,11 @@
 //! Upload-slot scheduling: exchange-ring discovery and activation,
 //! preemption, and the pluggable non-exchange fallback.
 
+// The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
+// every panicking access carries an `.expect()` stating the invariant that
+// makes it unreachable.  Clippy enforces the same contract at module level.
+#![deny(clippy::unwrap_used, clippy::get_unwrap)]
+
 use credit::QueuedRequest;
 use exchange::{ExchangeRing, RingSearch, RingToken, SearchTrace, TokenOutcome};
 use workload::{ObjectId, PeerId};
@@ -237,6 +242,7 @@ impl Simulation {
         // The scratch is taken out of `self` for the duration of the search
         // so the `claims` oracle can borrow the rest of the simulation.
         let mut scratch = std::mem::take(&mut self.scratch);
+        // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
         let start = self.profile_searches.then(std::time::Instant::now);
         let trace = RingSearch::new(policy)
             .with_expansion_budget(self.config.ring_search_budget)
@@ -435,8 +441,15 @@ impl Simulation {
             );
             return false;
         }
-        let requester = sq.queue[index].requester;
-        let object = sq.objects[index];
+        let requester = sq
+            .queue
+            .get(index)
+            .expect("pick index validated against queue length above")
+            .requester;
+        let object = *sq
+            .objects
+            .get(index)
+            .expect("serve queue keeps objects parallel to queue");
         let started = self
             .start_transfer(provider, requester, object, SessionKind::NonExchange, None)
             .is_some();

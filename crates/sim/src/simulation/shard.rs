@@ -32,6 +32,11 @@
 //! and the `audit` feature prove it — while the searches, the dominant cost,
 //! run on all shards.
 
+// The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
+// every panicking access carries an `.expect()` stating the invariant that
+// makes it unreachable.  Clippy enforces the same contract at module level.
+#![deny(clippy::unwrap_used, clippy::get_unwrap)]
+
 use std::collections::{HashMap, HashSet};
 use std::mem;
 use std::sync::Mutex;
@@ -328,6 +333,7 @@ impl Simulation {
                             let mut nanos = 0u64;
                             let trace = want_search.then(|| {
                                 let search = search.as_ref().expect("want_search implies a policy");
+                                // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
                                 let started = profiling.then(Instant::now);
                                 let trace = snapshot.search(search, scratch, *provider, wants);
                                 if let Some(started) = started {
@@ -336,7 +342,11 @@ impl Simulation {
                                 trace
                             });
                             let queue = snapshot.build_serve_queue(*provider);
-                            *slots[index].lock().expect("a worker panicked mid-batch") =
+                            *slots
+                                .get(index)
+                                .expect("slots was sized to tasks, which index enumerates")
+                                .lock()
+                                .expect("a worker panicked mid-batch") =
                                 Some((trace, queue, nanos));
                         }
                     });
@@ -378,11 +388,13 @@ impl Simulation {
     /// loop, with same-timestamp `TrySchedule` runs planned in parallel and
     /// merged in queue order.
     pub(super) fn run_event_loop_sharded(&mut self, mut profile: Option<&mut PhaseProfile>) {
+        // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
         let loop_start = Instant::now();
         while let Some(event) = self.engine.next() {
             match event {
                 Event::TrySchedule(first) => {
                     let batch = self.collect_try_schedule_batch(first);
+                    // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
                     let planning = profile.is_some().then(Instant::now);
                     let mut plan = self.plan_batch(&batch);
                     if let (Some(profile), Some(started)) = (profile.as_deref_mut(), planning) {
@@ -393,6 +405,7 @@ impl Simulation {
                         match profile.as_deref_mut() {
                             Some(profile) => {
                                 profile.events += 1;
+                                // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
                                 let started = Instant::now();
                                 self.handle_try_schedule_planned(provider, planned);
                                 profile.scheduling += started.elapsed();

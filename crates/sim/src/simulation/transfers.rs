@@ -2,6 +2,11 @@
 //! Section III-B cheating paths: junk blocks, relayed (middleman) content,
 //! and the windowed-validation / mediator countermeasures.
 
+// The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
+// every panicking access carries an `.expect()` stating the invariant that
+// makes it unreachable.  Clippy enforces the same contract at module level.
+#![deny(clippy::unwrap_used, clippy::get_unwrap)]
+
 use des::SimDuration;
 use exchange::cheat::WindowedExchange;
 use netsim::TransferSession;

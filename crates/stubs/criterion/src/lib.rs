@@ -11,6 +11,8 @@
 //! There is no statistical analysis, HTML report, or regression store —
 //! swap in the real criterion crate for those.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -10,6 +10,8 @@
 //! fixed number of deterministically seeded cases (seeded from the test
 //! name, so failures are reproducible run to run).
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::ops::{Range, RangeInclusive};

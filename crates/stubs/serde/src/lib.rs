@@ -6,4 +6,6 @@
 //! annotations; replacing the two stubs with the real crates re-enables
 //! serialization everywhere at once.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};

@@ -6,6 +6,8 @@
 //! `serde_derive` (by replacing the two stub crates under `crates/stubs/`)
 //! re-enables real serialization without touching any other code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.

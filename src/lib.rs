@@ -26,6 +26,8 @@
 //! assert!(report.completed_downloads() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bloom;
 pub use credit;
 pub use des;
