@@ -1,6 +1,9 @@
 //! Scale tier of the `end_to_end` benchmark: whole simulation runs at
 //! 1k / 5k / 10k / 100k peers, with per-phase wall-clock timings and named
-//! speedup figures per tier.
+//! speedup figures per tier.  The `churn-10k` tier re-runs the 10k workload
+//! under full population dynamics (session churn, a mid-run catastrophe, a
+//! flash crowd, and a heterogeneous capacity-class mix) so the cost of the
+//! departure/rejoin teardown machinery is tracked by the regression gate.
 //!
 //! Each tier runs the same seeded workload in up to three modes:
 //!
@@ -27,11 +30,13 @@
 //! cargo bench --bench scale -- --tier 1k                 # CI smoke tier
 //! cargo bench --bench scale -- --tier all --out BENCH_scale.json
 //! cargo bench --bench scale -- --tier 10k --seeds 1 --shards 8
+//! cargo bench --bench scale -- --tier churn-10k --shards 8
 //! cargo bench --bench scale -- --tier 100k --shards 8    # always 1 seed
 //! ```
 //!
-//! (`full` is the 1k/5k/10k subset; `all` adds the 100k tier, producing the
-//! complete checked-in `BENCH_scale.json` in one invocation.)
+//! (`full` is the 1k/5k/10k subset; `all` adds the churn-10k and 100k
+//! tiers, producing the complete checked-in `BENCH_scale.json` in one
+//! invocation.)
 //!
 //! The JSON also records `calibration_ops_per_s` — the host's rate on a
 //! fixed CPU-bound reference loop ([`bench_support::calibrate_ops_per_s`])
@@ -48,7 +53,10 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use sim::{CacheGranularity, PhaseProfile, SimConfig, SimReport, SimSetup, Simulation};
+use sim::{
+    CacheGranularity, CapacityClass, CatastropheConfig, ChurnConfig, ClassMix, FlashCrowdConfig,
+    PhaseProfile, SimConfig, SimReport, SimSetup, Simulation,
+};
 
 /// One measured run: its report plus every timing component.
 struct RunMeasurement {
@@ -148,6 +156,32 @@ fn tier_config(peers: usize, options: TierOptions) -> SimConfig {
     config
 }
 
+/// Full population dynamics for the `churn-10k` tier: mean sessions long
+/// enough that downloads still complete (they finish in well under a mean
+/// session at bench object sizes), plus a mid-horizon catastrophe, a flash
+/// crowd, and a fast/medium/slow class mix — the worst case for the
+/// departure-teardown and cache-invalidation paths.
+fn population_config(config: &mut SimConfig, options: TierOptions) {
+    config.churn = Some(ChurnConfig {
+        mean_session_s: options.duration_s * 2.0 / 3.0,
+        mean_downtime_s: options.duration_s / 6.0,
+    });
+    config.catastrophe = Some(CatastropheConfig {
+        at_s: options.duration_s / 2.0,
+        top_k: config.num_peers / 200,
+    });
+    config.flash_crowd = Some(FlashCrowdConfig {
+        at_s: options.duration_s / 3.0,
+        requesters: config.num_peers / 20,
+        seed_holders: 8,
+    });
+    config.classes = ClassMix::weighted([
+        (CapacityClass::Fast, 0.25),
+        (CapacityClass::Medium, 0.5),
+        (CapacityClass::Slow, 0.25),
+    ]);
+}
+
 fn measure_run(
     name: &str,
     config: &SimConfig,
@@ -190,10 +224,14 @@ fn fingerprint(report: &SimReport) -> (u64, u64, u64, sim::RingCacheStats) {
 fn run_tier(
     label: &'static str,
     peers: usize,
+    population: bool,
     seeds: &[u64],
     options: TierOptions,
 ) -> TierMeasurement {
-    let config = tier_config(peers, options);
+    let mut config = tier_config(peers, options);
+    if population {
+        population_config(&mut config, options);
+    }
     // The 100k tier runs one seed and skips the provider-cold mode: at 10⁵
     // peers the provider-granularity engine adds tens of minutes without
     // telling us anything the 10k tier did not.
@@ -314,7 +352,8 @@ fn phase_json(profile: &PhaseProfile) -> String {
     format!(
         "{{\"events\":{},\"event_loop_s\":{:.3},\"generate_requests_s\":{:.3},\
          \"scheduling_s\":{:.3},\"ring_search_s\":{:.3},\"ring_searches\":{},\
-         \"shard_planning_s\":{:.3},\"transfers_s\":{:.3},\"maintenance_s\":{:.3}}}",
+         \"shard_planning_s\":{:.3},\"transfers_s\":{:.3},\"maintenance_s\":{:.3},\
+         \"population_s\":{:.3}}}",
         profile.events,
         profile.event_loop.as_secs_f64(),
         profile.generate_requests.as_secs_f64(),
@@ -324,6 +363,7 @@ fn phase_json(profile: &PhaseProfile) -> String {
         profile.shard_planning.as_secs_f64(),
         profile.transfers.as_secs_f64(),
         profile.maintenance.as_secs_f64(),
+        profile.population.as_secs_f64(),
     )
 }
 
@@ -490,27 +530,37 @@ fn main() {
         // `cargo bench` with no arguments (or `--no-run`) must stay cheap:
         // the tiers run minutes each and are requested explicitly.
         eprintln!(
-            "scale bench: pass `-- --tier 1k|5k|10k|100k|full [--seeds n] [--shards n] \
+            "scale bench: pass `-- --tier 1k|5k|10k|churn-10k|100k|full [--seeds n] [--shards n] \
              [--out BENCH_scale.json]` to run a tier; doing nothing."
         );
         return;
     };
 
     let seed_list: Vec<u64> = (1..=seeds).collect();
-    let selected: Vec<(&'static str, usize)> = match tier_arg.as_str() {
-        "1k" => vec![("1k", 1_000)],
-        "5k" => vec![("5k", 5_000)],
-        "10k" => vec![("10k", 10_000)],
-        "100k" => vec![("100k", 100_000)],
-        "full" => vec![("1k", 1_000), ("5k", 5_000), ("10k", 10_000)],
+    // (label, peers, population dynamics on?)
+    let selected: Vec<(&'static str, usize, bool)> = match tier_arg.as_str() {
+        "1k" => vec![("1k", 1_000, false)],
+        "5k" => vec![("5k", 5_000, false)],
+        "10k" => vec![("10k", 10_000, false)],
+        "churn-10k" => vec![("churn-10k", 10_000, true)],
+        "100k" => vec![("100k", 100_000, false)],
+        "full" => vec![
+            ("1k", 1_000, false),
+            ("5k", 5_000, false),
+            ("10k", 10_000, false),
+        ],
         "all" => vec![
-            ("1k", 1_000),
-            ("5k", 5_000),
-            ("10k", 10_000),
-            ("100k", 100_000),
+            ("1k", 1_000, false),
+            ("5k", 5_000, false),
+            ("10k", 10_000, false),
+            ("churn-10k", 10_000, true),
+            ("100k", 100_000, false),
         ],
         other => {
-            eprintln!("scale bench: unknown tier '{other}' (expected 1k|5k|10k|100k|full|all)");
+            eprintln!(
+                "scale bench: unknown tier '{other}' \
+                 (expected 1k|5k|10k|churn-10k|100k|full|all)"
+            );
             std::process::exit(2);
         }
     };
@@ -523,8 +573,8 @@ fn main() {
 
     let tiers: Vec<TierMeasurement> = selected
         .into_iter()
-        .map(|(label, peers)| {
-            let mut tier = run_tier(label, peers, &seed_list, options);
+        .map(|(label, peers, population)| {
+            let mut tier = run_tier(label, peers, population, &seed_list, options);
             tier.baseline_pr3_s = baselines
                 .iter()
                 .find(|(t, _)| t == label)

@@ -75,6 +75,7 @@ const H001_FILES: &[&str] = &[
     "crates/sim/src/simulation/transfers.rs",
     "crates/sim/src/simulation/shard.rs",
     "crates/sim/src/simulation/maintenance.rs",
+    "crates/sim/src/simulation/population.rs",
 ];
 
 /// Iterator-producing methods on HashMap/HashSet whose order is

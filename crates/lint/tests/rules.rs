@@ -123,6 +123,12 @@ fn h001_fires_and_suppresses() {
 }
 
 #[test]
+fn h001_covers_the_population_module() {
+    // PR 8's population dynamics are event-loop code: same panic policy.
+    check("h001.rs", "crates/sim/src/simulation/population.rs");
+}
+
+#[test]
 fn h001_scoped_to_event_loop_modules() {
     let diagnostics = lint_source("crates/sim/src/peer.rs", &fixture("h001.rs"));
     assert!(

@@ -6,7 +6,10 @@ use netsim::LinkConfig;
 use serde::{Deserialize, Serialize};
 use workload::WorkloadConfig;
 
-use crate::{BehaviorMix, CacheGranularity, Protection};
+use crate::{
+    BehaviorMix, CacheGranularity, CatastropheConfig, ChurnConfig, ClassMix, FlashCrowdConfig,
+    Protection, SelectionStrategy,
+};
 
 /// Full configuration of one simulation run.
 ///
@@ -105,6 +108,22 @@ pub struct SimConfig {
     /// Interval at which a peer retries generating requests for which no
     /// provider was found, in seconds.
     pub request_retry_interval_s: f64,
+    /// Session churn: peers alternate exponentially distributed online
+    /// sessions and offline downtimes (`None` = the fixed population the
+    /// paper simulates, the default).
+    pub churn: Option<ChurnConfig>,
+    /// Scripted catastrophic departure of the top-k providers (`None` = off,
+    /// the default).
+    pub catastrophe: Option<CatastropheConfig>,
+    /// Scripted flash-crowd object release (`None` = off, the default).
+    pub flash_crowd: Option<FlashCrowdConfig>,
+    /// The weighted population of capacity classes (rate multipliers on
+    /// uploads).  Defaults to the homogeneous all-`Medium` mix, which is
+    /// bit-identical to the pre-class engine.
+    pub classes: ClassMix,
+    /// How peers pick the next object to request within their interests.
+    /// Defaults to the paper's popularity-weighted draw.
+    pub chunk_selection: SelectionStrategy,
 }
 
 impl SimConfig {
@@ -135,6 +154,11 @@ impl SimConfig {
             warmup_s: 8.0 * 3600.0,
             storage_maintenance_interval_s: 600.0,
             request_retry_interval_s: 300.0,
+            churn: None,
+            catastrophe: None,
+            flash_crowd: None,
+            classes: ClassMix::uniform(),
+            chunk_selection: SelectionStrategy::Popularity,
         }
     }
 
@@ -168,6 +192,11 @@ impl SimConfig {
             warmup_s: 0.0,
             storage_maintenance_interval_s: 300.0,
             request_retry_interval_s: 120.0,
+            churn: None,
+            catastrophe: None,
+            flash_crowd: None,
+            classes: ClassMix::uniform(),
+            chunk_selection: SelectionStrategy::Popularity,
         }
     }
 
@@ -256,6 +285,23 @@ impl SimConfig {
                 return Err(format!("{name} must be positive, got {v}"));
             }
         }
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
+        }
+        if let Some(catastrophe) = &self.catastrophe {
+            catastrophe.validate()?;
+            if catastrophe.top_k >= self.num_peers {
+                return Err(format!(
+                    "catastrophe.top_k ({}) must leave at least one peer in a \
+                     {}-peer system",
+                    catastrophe.top_k, self.num_peers
+                ));
+            }
+        }
+        if let Some(flash_crowd) = &self.flash_crowd {
+            flash_crowd.validate()?;
+        }
+        self.classes.validate()?;
         Ok(())
     }
 }
@@ -346,6 +392,44 @@ mod tests {
         let mut c = SimConfig::quick_test();
         c.shards = 0;
         assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.churn = Some(ChurnConfig::new(0.0, 100.0));
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.catastrophe = Some(CatastropheConfig::new(100.0, c.num_peers));
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.flash_crowd = Some(FlashCrowdConfig::new(100.0, 0));
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::quick_test();
+        c.classes = ClassMix::weighted([]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn population_knobs_default_off_and_validate_on() {
+        for c in [SimConfig::paper_defaults(), SimConfig::quick_test()] {
+            assert!(c.churn.is_none());
+            assert!(c.catastrophe.is_none());
+            assert!(c.flash_crowd.is_none());
+            assert_eq!(c.classes, ClassMix::uniform());
+            assert_eq!(c.chunk_selection, SelectionStrategy::Popularity);
+        }
+        let mut c = SimConfig::quick_test();
+        c.churn = Some(ChurnConfig::new(600.0, 120.0));
+        c.catastrophe = Some(CatastropheConfig::new(500.0, 2));
+        c.flash_crowd = Some(FlashCrowdConfig::new(200.0, 8));
+        c.classes = crate::ClassMix::weighted([
+            (crate::CapacityClass::Fast, 0.3),
+            (crate::CapacityClass::Medium, 0.4),
+            (crate::CapacityClass::Slow, 0.3),
+        ]);
+        c.chunk_selection = SelectionStrategy::RarestFirst;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

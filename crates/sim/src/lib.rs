@@ -52,6 +52,7 @@ mod behavior;
 mod config;
 pub mod experiment;
 mod peer;
+mod population;
 mod report;
 mod scenario;
 mod serialize;
@@ -66,6 +67,9 @@ pub use config::SimConfig;
 pub use credit::{SchedulerKind, UploadScheduler};
 pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
+pub use population::{
+    CapacityClass, CatastropheConfig, ChurnConfig, ClassMix, FlashCrowdConfig, SelectionStrategy,
+};
 pub use report::{BehaviorStats, SimReport};
 pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow};
 #[cfg(feature = "audit")]

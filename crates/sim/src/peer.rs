@@ -6,7 +6,7 @@ use des::SimTime;
 use netsim::SlotPool;
 use workload::{ObjectId, PeerId, PeerInterests, Storage};
 
-use crate::{BehaviorKind, PeerClass};
+use crate::{BehaviorKind, CapacityClass, PeerClass};
 
 /// The state of one pending download (one "outstanding request").
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +48,13 @@ pub struct PeerState {
     /// (`PeerBehavior::uploads`); cached here because the scheduling hot
     /// paths read it constantly.
     pub sharing: bool,
+    /// Whether the peer is currently in the system.  Always `true` without
+    /// churn; a departed peer holds no slots, no transfers, no request-graph
+    /// edges and no holders-index entries until it rejoins.
+    pub online: bool,
+    /// The peer's access-link capacity class: a multiplier on the per-slot
+    /// rate of its uploads (assigned from [`crate::ClassMix`] at setup).
+    pub capacity: CapacityClass,
     /// The categories the peer is interested in.
     pub interests: PeerInterests,
     /// The objects the peer currently stores.
@@ -118,6 +125,8 @@ mod tests {
             id: PeerId::new(0),
             behavior,
             sharing: behavior.build().uploads(),
+            online: true,
+            capacity: CapacityClass::Medium,
             interests,
             storage: Storage::new(5),
             upload_slots: SlotPool::new(8),

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use metrics::{Cdf, ClassTally, OnlineStats, SampleSet};
 
 use crate::simulation::RingCacheStats;
-use crate::{BehaviorKind, PeerClass, SessionEnd, SessionKind};
+use crate::{BehaviorKind, CapacityClass, PeerClass, SessionEnd, SessionKind};
 
 /// Per-behavior measurements of one run: what each strategic population
 /// contributed, gained, and got caught doing (the paper's Section III-B
@@ -80,6 +80,9 @@ impl BehaviorStats {
 #[derive(Debug, Clone)]
 pub struct SimReport {
     download_time_min: ClassTally<PeerClass>,
+    /// Download-time samples per capacity class — the per-class fairness
+    /// distributions (the Fig. 7/8-style CDFs under heterogeneous links).
+    capacity_download_min: BTreeMap<CapacityClass, SampleSet>,
     waiting_secs: BTreeMap<SessionKind, SampleSet>,
     session_bytes: BTreeMap<SessionKind, SampleSet>,
     session_counts: BTreeMap<SessionKind, u64>,
@@ -102,6 +105,7 @@ impl SimReport {
     pub fn new(peers: usize) -> Self {
         SimReport {
             download_time_min: ClassTally::new(),
+            capacity_download_min: BTreeMap::new(),
             waiting_secs: BTreeMap::new(),
             session_bytes: BTreeMap::new(),
             session_counts: BTreeMap::new(),
@@ -121,10 +125,20 @@ impl SimReport {
 
     // ---- recording (used by the simulator) ---------------------------------
 
-    /// Records one completed, usable download by a peer of `class` and
-    /// `behavior`, in minutes.
-    pub fn record_download(&mut self, class: PeerClass, behavior: BehaviorKind, minutes: f64) {
+    /// Records one completed, usable download by a peer of `class`,
+    /// `behavior` and `capacity`, in minutes.
+    pub fn record_download(
+        &mut self,
+        class: PeerClass,
+        behavior: BehaviorKind,
+        capacity: CapacityClass,
+        minutes: f64,
+    ) {
         self.download_time_min.record(class, minutes);
+        self.capacity_download_min
+            .entry(capacity)
+            .or_insert_with(|| SampleSet::with_capacity(200_000))
+            .record(minutes);
         self.completed_downloads += 1;
         let stats = self.behaviors.entry(behavior).or_default();
         stats.completed_downloads += 1;
@@ -322,6 +336,36 @@ impl SimReport {
         self.session_counts.keys().copied().collect()
     }
 
+    /// The capacity classes that completed at least one usable download, in
+    /// deterministic (Fast < Medium < Slow) order.
+    #[must_use]
+    pub fn observed_capacity_classes(&self) -> Vec<CapacityClass> {
+        self.capacity_download_min.keys().copied().collect()
+    }
+
+    /// Empirical CDF of download times (minutes) for peers of capacity
+    /// `class` — the per-class fairness distribution.
+    #[must_use]
+    pub fn capacity_fairness_cdf(&self, class: CapacityClass) -> Option<Cdf> {
+        self.capacity_download_min.get(&class).map(SampleSet::cdf)
+    }
+
+    /// Mean download time in minutes of capacity `class`, if it completed
+    /// any downloads.
+    #[must_use]
+    pub fn mean_download_time_by_capacity(&self, class: CapacityClass) -> Option<f64> {
+        self.capacity_download_min.get(&class).map(SampleSet::mean)
+    }
+
+    /// The `p`-th percentile (nearest-rank, `0.0..=1.0`) of capacity
+    /// `class`'s download times in minutes — the quantiles the fairness
+    /// exports publish.
+    #[must_use]
+    pub fn capacity_download_percentile(&self, class: CapacityClass, p: f64) -> Option<f64> {
+        self.capacity_fairness_cdf(class)
+            .map(|cdf| cdf.percentile(p))
+    }
+
     /// Mean downloaded volume per peer of `class`, in megabytes (Figure 10).
     #[must_use]
     pub fn mean_volume_per_peer_mb(&self, class: PeerClass) -> Option<f64> {
@@ -419,13 +463,69 @@ mod tests {
     #[test]
     fn download_metrics_accumulate() {
         let mut r = SimReport::new(2);
-        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 10.0);
-        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 20.0);
-        r.record_download(PeerClass::NonSharing, BehaviorKind::FreeRider, 60.0);
+        r.record_download(
+            PeerClass::Sharing,
+            BehaviorKind::Honest,
+            CapacityClass::Fast,
+            10.0,
+        );
+        r.record_download(
+            PeerClass::Sharing,
+            BehaviorKind::Honest,
+            CapacityClass::Fast,
+            20.0,
+        );
+        r.record_download(
+            PeerClass::NonSharing,
+            BehaviorKind::FreeRider,
+            CapacityClass::Slow,
+            60.0,
+        );
         assert_eq!(r.completed_downloads(), 3);
         assert_eq!(r.mean_download_time_min(PeerClass::Sharing), Some(15.0));
         assert_eq!(r.download_time_ratio(), Some(4.0));
         assert!(r.download_time_stats(PeerClass::Sharing).is_some());
+    }
+
+    #[test]
+    fn capacity_fairness_distributions_split_by_class() {
+        let mut r = SimReport::new(3);
+        for minutes in [10.0, 20.0, 30.0] {
+            r.record_download(
+                PeerClass::Sharing,
+                BehaviorKind::Honest,
+                CapacityClass::Fast,
+                minutes,
+            );
+        }
+        r.record_download(
+            PeerClass::Sharing,
+            BehaviorKind::Honest,
+            CapacityClass::Slow,
+            90.0,
+        );
+        assert_eq!(
+            r.observed_capacity_classes(),
+            vec![CapacityClass::Fast, CapacityClass::Slow]
+        );
+        assert_eq!(
+            r.mean_download_time_by_capacity(CapacityClass::Fast),
+            Some(20.0)
+        );
+        let cdf = r.capacity_fairness_cdf(CapacityClass::Fast).unwrap();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(
+            r.capacity_download_percentile(CapacityClass::Fast, 0.5),
+            Some(20.0)
+        );
+        assert_eq!(
+            r.capacity_download_percentile(CapacityClass::Slow, 0.9),
+            Some(90.0)
+        );
+        assert!(r.capacity_fairness_cdf(CapacityClass::Medium).is_none());
+        assert!(r
+            .mean_download_time_by_capacity(CapacityClass::Medium)
+            .is_none());
     }
 
     #[test]
@@ -575,8 +675,18 @@ mod tests {
     #[test]
     fn download_times_split_by_behavior() {
         let mut r = SimReport::new(2);
-        r.record_download(PeerClass::Sharing, BehaviorKind::Honest, 10.0);
-        r.record_download(PeerClass::Sharing, BehaviorKind::JunkSender, 30.0);
+        r.record_download(
+            PeerClass::Sharing,
+            BehaviorKind::Honest,
+            CapacityClass::Medium,
+            10.0,
+        );
+        r.record_download(
+            PeerClass::Sharing,
+            BehaviorKind::JunkSender,
+            CapacityClass::Medium,
+            30.0,
+        );
         let honest = r.behavior_stats(BehaviorKind::Honest).unwrap();
         assert_eq!(honest.mean_download_time_min(), Some(10.0));
         assert_eq!(honest.completed_downloads, 1);

@@ -16,7 +16,9 @@ use credit::SchedulerKind;
 use exchange::ExchangePolicy;
 use metrics::OnlineStats;
 
-use crate::{BehaviorMix, Protection, SimConfig, SimReport, SimSetup, Simulation};
+use crate::{
+    BehaviorMix, ChurnConfig, ClassMix, Protection, SimConfig, SimReport, SimSetup, Simulation,
+};
 
 /// A shared, composable configuration mutation used by [`Axis::custom`].
 pub type ConfigSetter = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
@@ -45,6 +47,11 @@ pub enum Axis {
     MaxPendingObjects(Vec<usize>),
     /// Vary how many categories each peer is interested in (Figure 11).
     CategoriesPerPeer(Vec<u32>),
+    /// Vary the churn process (`None` disables churn; labelled `off`).
+    Churn(Vec<Option<ChurnConfig>>),
+    /// Vary the capacity-class population (Section IV churn/fairness
+    /// studies).
+    ClassMix(Vec<ClassMix>),
     /// An arbitrary named dimension built from labelled config mutations via
     /// [`Axis::custom`] and [`Axis::with_variant`].
     Custom {
@@ -99,6 +106,8 @@ impl Axis {
             Axis::PopularityFactor(_) => "popularity_factor",
             Axis::MaxPendingObjects(_) => "max_pending",
             Axis::CategoriesPerPeer(_) => "categories_per_peer",
+            Axis::Churn(_) => "churn",
+            Axis::ClassMix(_) => "classes",
             Axis::Custom { name, .. } => name,
         }
     }
@@ -116,6 +125,8 @@ impl Axis {
             Axis::PopularityFactor(v) => v.len(),
             Axis::MaxPendingObjects(v) => v.len(),
             Axis::CategoriesPerPeer(v) => v.len(),
+            Axis::Churn(v) => v.len(),
+            Axis::ClassMix(v) => v.len(),
             Axis::Custom { variants, .. } => variants.len(),
         }
     }
@@ -140,6 +151,11 @@ impl Axis {
             Axis::PopularityFactor(v) => format!("{}", v[index]),
             Axis::MaxPendingObjects(v) => v[index].to_string(),
             Axis::CategoriesPerPeer(v) => v[index].to_string(),
+            Axis::Churn(v) => match &v[index] {
+                Some(churn) => churn.label(),
+                None => "off".to_string(),
+            },
+            Axis::ClassMix(v) => v[index].label(),
             Axis::Custom { variants, .. } => variants[index].0.clone(),
         }
     }
@@ -163,6 +179,8 @@ impl Axis {
             Axis::CategoriesPerPeer(v) => {
                 config.workload.categories_per_peer = (v[index], v[index]);
             }
+            Axis::Churn(v) => config.churn = v[index].clone(),
+            Axis::ClassMix(v) => config.classes = v[index].clone(),
             Axis::Custom { variants, .. } => variants[index].1(config),
         }
     }
@@ -225,6 +243,7 @@ pub struct Scenario {
     base: SimConfig,
     axes: Vec<Axis>,
     seeds: Vec<u64>,
+    setup_seed: Option<u64>,
     threads: Option<usize>,
     thread_budget: Option<usize>,
     warm_restarts: bool,
@@ -239,6 +258,7 @@ impl Scenario {
             base,
             axes: Vec::new(),
             seeds: vec![0],
+            setup_seed: None,
             threads: None,
             thread_budget: None,
             warm_restarts: false,
@@ -277,10 +297,34 @@ impl Scenario {
         self.vary(Axis::Protection(protections.into_iter().collect()))
     }
 
+    /// Sugar for varying the churn process (`None` = churn off).
+    #[must_use]
+    pub fn churn(self, configs: impl IntoIterator<Item = Option<ChurnConfig>>) -> Self {
+        self.vary(Axis::Churn(configs.into_iter().collect()))
+    }
+
+    /// Sugar for varying the capacity-class population.
+    #[must_use]
+    pub fn classes(self, mixes: impl IntoIterator<Item = ClassMix>) -> Self {
+        self.vary(Axis::ClassMix(mixes.into_iter().collect()))
+    }
+
     /// Sets the seeds each grid point runs under (default: just seed 0).
     #[must_use]
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Pins the seed used to generate the shared topology under
+    /// [`warm_restarts`](Self::warm_restarts), decoupling the catalog/peer
+    /// generation from the first run seed (default: the first entry of
+    /// [`seeds`](Self::seeds)).  With an explicit setup seed outside the run
+    /// seeds, **no** warm row is bit-identical to its cold counterpart —
+    /// every seed then measures workload variance on the same fixed topology.
+    #[must_use]
+    pub fn setup_seed(mut self, seed: u64) -> Self {
+        self.setup_seed = Some(seed);
         self
     }
 
@@ -332,7 +376,8 @@ impl Scenario {
     }
 
     /// Enables warm restarts: each grid point generates its catalog and peer
-    /// topology **once** (from the first seed) via [`SimSetup`] and shares it
+    /// topology **once** (from the first seed, or the explicit
+    /// [`setup_seed`](Self::setup_seed)) via [`SimSetup`] and shares it
     /// across that point's seeds, so only the request/lookup/storage RNG
     /// streams vary per seed.
     ///
@@ -431,10 +476,11 @@ impl Scenario {
         let results: Vec<Mutex<Option<SimReport>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         // One lazily generated, shared setup per grid point (warm restarts).
-        // The setup seed is the scenario's first seed, so the assignment is
-        // deterministic regardless of which worker gets there first.
+        // The setup seed defaults to the scenario's first seed — or the
+        // explicit `setup_seed` knob — so the assignment is deterministic
+        // regardless of which worker gets there first.
         let setups: Vec<OnceLock<SimSetup>> = points.iter().map(|_| OnceLock::new()).collect();
-        let setup_seed = self.seeds[0];
+        let setup_seed = self.setup_seed.unwrap_or(self.seeds[0]);
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -870,6 +916,70 @@ mod tests {
         assert_eq!(
             points[3].value("behaviors"),
             Some("honest:0.5+middleman:0.5")
+        );
+    }
+
+    #[test]
+    fn churn_and_class_axes_mutate_the_config() {
+        use crate::CapacityClass;
+        let churn = ChurnConfig {
+            mean_session_s: 300.0,
+            mean_downtime_s: 120.0,
+        };
+        let mix = ClassMix::weighted([(CapacityClass::Fast, 0.5), (CapacityClass::Slow, 0.5)]);
+        let scenario = Scenario::from(tiny_base())
+            .churn([None, Some(churn.clone())])
+            .classes([ClassMix::uniform(), mix.clone()]);
+        let points = scenario.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].value("churn"), Some("off"));
+        assert_eq!(points[0].config.churn, None);
+        assert_eq!(points[1].value("classes"), Some(mix.label().as_str()));
+        assert_eq!(points[3].config.churn, Some(churn));
+        assert_eq!(points[3].config.classes, mix);
+    }
+
+    #[test]
+    fn setup_seed_pins_the_shared_topology() {
+        // Two warm sweeps with the same explicit setup seed but different run
+        // seeds share the topology: the run-seed streams alone separate them.
+        let build = |seeds: [u64; 1]| {
+            Scenario::from(tiny_base())
+                .seeds(seeds)
+                .setup_seed(99)
+                .warm_restarts(true)
+                .run()
+        };
+        let a = build([5]);
+        let b = build([5]);
+        assert_eq!(
+            a.rows()[0].report.completed_downloads(),
+            b.rows()[0].report.completed_downloads()
+        );
+        // A pinned setup seed makes the warm run differ from a cold run of
+        // the same run seed (the cold run generates topology from seed 5).
+        let cold = Scenario::from(tiny_base()).seeds([5]).run();
+        let warm_pinned = build([5]);
+        let warm_default = Scenario::from(tiny_base())
+            .seeds([5])
+            .warm_restarts(true)
+            .run();
+        // Default warm restarts stay bit-identical to cold on the first seed.
+        assert_eq!(
+            warm_default.rows()[0].report.completed_downloads(),
+            cold.rows()[0].report.completed_downloads()
+        );
+        assert_eq!(
+            warm_default.rows()[0].report.total_sessions(),
+            cold.rows()[0].report.total_sessions()
+        );
+        // The pinned topology (seed 99) produces a different trajectory.
+        assert!(
+            warm_pinned.rows()[0].report.completed_downloads()
+                != cold.rows()[0].report.completed_downloads()
+                || warm_pinned.rows()[0].report.total_sessions()
+                    != cold.rows()[0].report.total_sessions(),
+            "a pinned setup seed must change the shared topology"
         );
     }
 

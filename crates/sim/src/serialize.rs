@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::io::{self, Write};
 
-use crate::{BehaviorKind, SimReport, SweepGrid};
+use crate::{BehaviorKind, CapacityClass, SimReport, SweepGrid};
 
 /// One headline metric column: its name and the report extractor.
 type MetricColumn = (&'static str, fn(&SimReport) -> Option<f64>);
@@ -46,6 +46,20 @@ fn observed_behaviors(grid: &SweepGrid) -> Vec<BehaviorKind> {
     }
     kinds.into_iter().collect()
 }
+
+/// Every capacity class that completed a download anywhere in the grid, in
+/// class order (fast < medium < slow).
+fn observed_classes(grid: &SweepGrid) -> Vec<CapacityClass> {
+    let mut classes: BTreeSet<CapacityClass> = BTreeSet::new();
+    for row in grid.rows() {
+        classes.extend(row.report.observed_capacity_classes());
+    }
+    classes.into_iter().collect()
+}
+
+/// The download-time quantiles exported per capacity class (paper Figures
+/// 7–8 plot the full CDF; these are its fixed sampling points).
+const CLASS_QUANTILES: [(&str, f64); 3] = [("p10", 0.10), ("p50", 0.50), ("p90", 0.90)];
 
 /// Formats a float for JSON: finite values via `{}` (shortest round-trip),
 /// everything else as the JSON literal `null`.
@@ -109,12 +123,18 @@ impl SweepGrid {
             .unwrap_or_default();
         let metrics = scalar_metrics();
         let behaviors = observed_behaviors(self);
+        let classes = observed_classes(self);
 
         let mut header: Vec<String> = vec!["point".into(), "label".into(), "seed".into()];
         header.extend(axes.iter().map(|a| (*a).to_string()));
         header.extend(metrics.iter().map(|(name, _)| (*name).to_string()));
         for kind in &behaviors {
             header.push(format!("usable_mb_per_peer[{kind}]"));
+        }
+        for class in &classes {
+            for (quantile, _) in CLASS_QUANTILES {
+                header.push(format!("download_min_{quantile}[{}]", class.label()));
+            }
         }
         writeln!(
             writer,
@@ -142,6 +162,11 @@ impl SweepGrid {
             for kind in &behaviors {
                 fields.push(csv_f64(row.report.mean_usable_mb_per_peer(*kind)));
             }
+            for class in &classes {
+                for (_, p) in CLASS_QUANTILES {
+                    fields.push(csv_f64(row.report.capacity_download_percentile(*class, p)));
+                }
+            }
             writeln!(writer, "{}", fields.join(","))?;
         }
         Ok(())
@@ -159,7 +184,8 @@ impl SweepGrid {
     ///
     /// `metrics` carries the same headline numbers as the CSV; `behaviors`
     /// nests the full per-behavior breakdown (bytes up/down, usable vs
-    /// junk vs ciphertext, completions, cheat detections).
+    /// junk vs ciphertext, completions, cheat detections); `capacity` nests
+    /// the per-class download-time fairness quantiles (paper Figures 7–8).
     ///
     /// # Errors
     ///
@@ -240,6 +266,30 @@ impl SweepGrid {
                         .map_or("null".to_string(), fmt_f64),
                 )?;
             }
+            write!(writer, "}},\"capacity\":{{")?;
+            for (j, class) in row.report.observed_capacity_classes().iter().enumerate() {
+                if j > 0 {
+                    write!(writer, ",")?;
+                }
+                write!(writer, "\"{}\":{{", json_escape(class.label()))?;
+                write!(
+                    writer,
+                    "\"mean_download_time_min\":{}",
+                    row.report
+                        .mean_download_time_by_capacity(*class)
+                        .map_or("null".to_string(), fmt_f64)
+                )?;
+                for (quantile, p) in CLASS_QUANTILES {
+                    write!(
+                        writer,
+                        ",\"download_min_{quantile}\":{}",
+                        row.report
+                            .capacity_download_percentile(*class, p)
+                            .map_or("null".to_string(), fmt_f64)
+                    )?;
+                }
+                write!(writer, "}}")?;
+            }
             write!(writer, "}}}}")?;
         }
         write!(writer, "]}}")?;
@@ -295,6 +345,31 @@ mod tests {
             assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
         }
         assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn fairness_quantiles_export_per_observed_class() {
+        use crate::{CapacityClass, ClassMix};
+        let mut config = SimConfig::quick_test();
+        config.num_peers = 16;
+        config.sim_duration_s = 600.0;
+        config.classes =
+            ClassMix::weighted([(CapacityClass::Fast, 0.5), (CapacityClass::Slow, 0.5)]);
+        let grid = Scenario::from(config).seeds([1]).run();
+        let csv = grid.to_csv_string();
+        let header = csv.lines().next().expect("csv has a header");
+        assert!(header.contains("download_min_p10[fast]"));
+        assert!(header.contains("download_min_p50[fast]"));
+        assert!(header.contains("download_min_p90[slow]"));
+        assert!(
+            !header.contains("[medium]"),
+            "unobserved classes get no columns"
+        );
+        let json = grid.to_json_string();
+        assert!(json.contains("\"capacity\":{"));
+        assert!(json.contains("\"fast\":{\"mean_download_time_min\":"));
+        assert!(json.contains("\"download_min_p90\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -96,6 +96,51 @@ impl Simulation {
         self.audit_byte_conservation()?;
         self.audit_ring_cache()?;
         self.audit_maintenance_wheel()?;
+        self.audit_population()?;
+        Ok(())
+    }
+
+    /// A departed peer holds nothing live: no reserved slots, no transfers,
+    /// no outstanding wants, no request-graph edges in either direction, no
+    /// holders-index entries, and no ring-cache entry rooted at it or
+    /// depending on it.  (Byte conservation over sessions that spanned the
+    /// departure is covered by the byte-conservation audit: `end_transfer`
+    /// accounts both ends before teardown, so the global identity holds
+    /// through churn.)
+    fn audit_population(&self) -> Result<(), String> {
+        for peer in &self.peers {
+            if peer.online {
+                continue;
+            }
+            let id = peer.id;
+            if peer.upload_slots.in_use() != 0 || peer.download_slots.in_use() != 0 {
+                return Err(format!("departed peer {id:?} still holds transfer slots"));
+            }
+            if !peer.wants.is_empty() {
+                return Err(format!("departed peer {id:?} still has outstanding wants"));
+            }
+            if self.graph.incoming(id).next().is_some() {
+                return Err(format!("departed peer {id:?} still has incoming requests"));
+            }
+            if self.graph.outgoing(id).next().is_some() {
+                return Err(format!("departed peer {id:?} still has outgoing requests"));
+            }
+            for (object, holders) in self.holders.iter().enumerate() {
+                if holders.contains(&id) {
+                    return Err(format!(
+                        "departed peer {id:?} still indexed as holder of object {object}"
+                    ));
+                }
+            }
+            for entry in self.ring_cache.iter_entries() {
+                if entry.root == id || entry.deps.contains(&id) || entry.edge_deps.contains(&id) {
+                    return Err(format!(
+                        "departed peer {id:?} still referenced by cache entry at {:?}",
+                        entry.root
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -106,6 +151,10 @@ impl Simulation {
     /// when the per-peer-event baseline would have evicted.
     fn audit_maintenance_wheel(&self) -> Result<(), String> {
         for peer in &self.peers {
+            // Offline stores are frozen; the rejoin re-arms the wheel.
+            if !peer.online {
+                continue;
+            }
             if peer.storage.over_capacity() && !self.maintenance_pending[peer.id.as_usize()] {
                 return Err(format!(
                     "peer {:?} is over capacity ({} of {}) with no maintenance event armed",

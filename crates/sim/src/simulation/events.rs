@@ -44,6 +44,17 @@ pub(crate) enum Event {
     BlockComplete(super::TransferId),
     /// Periodic storage-capacity enforcement at a peer.
     StorageMaintenance(PeerId),
+    /// A churning peer's session ends: it leaves, tearing down everything it
+    /// was part of (see [`super::population`]).
+    Depart(PeerId),
+    /// A departed peer's downtime ends: it comes back with its stored objects.
+    Rejoin(PeerId),
+    /// The scripted removal of the top-k providers
+    /// ([`crate::CatastropheConfig`]).
+    Catastrophe,
+    /// A new object enters the catalog with a burst of requesters
+    /// ([`crate::FlashCrowdConfig`]).
+    FlashCrowd,
 }
 
 impl Simulation {
@@ -59,6 +70,9 @@ impl Simulation {
                 Event::Arrive(PeerId::new(next as u32)),
             );
         }
+        // Under churn the arrival opens the peer's first session: draw its
+        // length now and put the departure on the timeline.
+        self.schedule_departure(peer);
         self.handle_generate_requests(peer);
     }
 
@@ -68,20 +82,16 @@ impl Simulation {
         // Arrivals call in directly without a queued event; saturate.
         let queued = &mut self.generate_queued[peer.as_usize()];
         *queued = queued.saturating_sub(1);
+        // A departed peer generates nothing; its rejoin re-arms the chain.
+        if !self.peer(peer).online {
+            return;
+        }
         let max_pending = self.config.max_pending_objects;
         let mut attempts = 0usize;
         let attempt_budget = max_pending * 4;
         while self.peer(peer).can_issue_request(max_pending) && attempts < attempt_budget {
             attempts += 1;
-            let candidate = {
-                let state = &self.peers[peer.as_usize()];
-                self.request_gen.next_request(
-                    &self.catalog,
-                    &state.interests,
-                    &mut self.rng_requests,
-                    |o| state.has_or_wants(o),
-                )
-            };
+            let candidate = self.next_request_for(peer);
             let Some(object) = candidate else { break };
             self.issue_request(peer, object);
         }
@@ -115,6 +125,67 @@ impl Simulation {
             .schedule_in(delay, Event::GenerateRequests(peer));
     }
 
+    /// Draws `peer`'s next request according to the configured
+    /// [`crate::SelectionStrategy`].
+    ///
+    /// `Popularity` is the paper's default two-level draw (category by local
+    /// preference, object by within-category power law) — bit-identical to
+    /// the pre-strategy code path.  The alternative strategies pick a
+    /// category uniformly among the peer's interests and then choose within
+    /// it by current holder count (rarest-first / most-common-first, ties to
+    /// the lower object id) or uniformly at random.
+    fn next_request_for(&mut self, peer: PeerId) -> Option<ObjectId> {
+        use crate::SelectionStrategy;
+        let strategy = self.config.chunk_selection;
+        if strategy == SelectionStrategy::Popularity {
+            let state = &self.peers[peer.as_usize()];
+            return self.request_gen.next_request(
+                &self.catalog,
+                &state.interests,
+                &mut self.rng_requests,
+                |o| state.has_or_wants(o),
+            );
+        }
+        let state = &self.peers[peer.as_usize()];
+        let categories = state.interests.categories();
+        // Bounded retry across category draws, mirroring the popularity
+        // path's attempt budget.
+        for _ in 0..16 {
+            let category = *self.rng_requests.choose(categories)?;
+            let candidates: Vec<ObjectId> = self
+                .catalog
+                .objects_in_category(category)
+                .iter()
+                .copied()
+                .filter(|o| !state.has_or_wants(*o))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let holders = &self.holders;
+            let pick = match strategy {
+                SelectionStrategy::Uniform => self
+                    .rng_requests
+                    .choose(&candidates)
+                    .copied()
+                    .expect("candidates is non-empty"),
+                SelectionStrategy::RarestFirst => candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|o| (holders[o.as_usize()].len(), *o))
+                    .expect("candidates is non-empty"),
+                SelectionStrategy::MostCommonFirst => candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|o| (holders[o.as_usize()].len(), std::cmp::Reverse(*o)))
+                    .expect("candidates is non-empty"),
+                SelectionStrategy::Popularity => return None, // handled above
+            };
+            return Some(pick);
+        }
+        None
+    }
+
     /// Looks up providers for `object` and registers requests with them.
     ///
     /// The lookup sees *advertised* holdings: every sharing peer that stores
@@ -122,7 +193,7 @@ impl Simulation {
     /// any middleman that advertises it without storing it.  Middlemen only
     /// advertise objects some honest holder could source, so relayed content
     /// never materialises out of thin air.
-    fn issue_request(&mut self, requester: PeerId, object: ObjectId) {
+    pub(super) fn issue_request(&mut self, requester: PeerId, object: ObjectId) {
         // The lookup index keeps the sharing holders of every object in
         // peer-id order (exactly the order the old full-population scan
         // produced), plus the honest-holder count middleman advertisements
@@ -137,12 +208,12 @@ impl Simulation {
         let honest_source = self.honest_holders[object.as_usize()] > 0;
         if honest_source {
             let peers = &self.peers;
-            all_providers.extend(
-                self.advertisers
-                    .iter()
-                    .copied()
-                    .filter(|p| *p != requester && !peers[p.as_usize()].storage.contains(object)),
-            );
+            // The advertiser list is static (behaviors are fixed per run);
+            // departed middlemen drop out of lookups here.
+            all_providers.extend(self.advertisers.iter().copied().filter(|p| {
+                let state = &peers[p.as_usize()];
+                *p != requester && state.online && !state.storage.contains(object)
+            }));
         }
         if all_providers.is_empty() {
             return; // nothing to request from right now
@@ -195,6 +266,11 @@ impl Simulation {
     /// peer is over capacity and none is pending.  Call after anything that
     /// grows storage (a completed download) — the only way past capacity.
     pub(super) fn schedule_maintenance_if_over_capacity(&mut self, peer: PeerId) {
+        // Offline stores are frozen: nothing is served from them, so nothing
+        // needs evicting until the peer rejoins (which re-arms the wheel).
+        if !self.peers[peer.as_usize()].online {
+            return;
+        }
         if !self.peers[peer.as_usize()].storage.over_capacity() {
             return;
         }
@@ -208,6 +284,10 @@ impl Simulation {
 
     pub(super) fn handle_storage_maintenance(&mut self, peer: PeerId) {
         self.maintenance_pending[peer.as_usize()] = false;
+        // The peer departed after this pass was armed; rejoin re-arms it.
+        if !self.peer(peer).online {
+            return;
+        }
         // Objects currently being uploaded by this peer are pinned, as the
         // paper postpones removal of objects used in an ongoing exchange.
         let pinned: Vec<ObjectId> = self
@@ -258,7 +338,7 @@ impl Simulation {
     /// relayed content never materialises out of thin air.  The withdrawals
     /// go through the graph's dirty set, which keeps the ring-candidate
     /// cache exact.
-    fn withdraw_unsourceable_middleman_claims(&mut self, object: ObjectId) {
+    pub(super) fn withdraw_unsourceable_middleman_claims(&mut self, object: ObjectId) {
         if self.honest_holders[object.as_usize()] > 0 {
             return;
         }

@@ -8,12 +8,15 @@
 //!   token-validated activation, preemption, and the pluggable
 //!   [`UploadScheduler`] fallback;
 //! * [`transfers`] — the block-by-block transfer lifecycle and its
-//!   bookkeeping.
+//!   bookkeeping;
+//! * [`population`] — population dynamics: churn departures/rejoins,
+//!   catastrophic top-provider removal, flash-crowd releases.
 
 #[cfg(feature = "audit")]
 pub mod audit;
 mod events;
 mod maintenance;
+mod population;
 mod ring_cache;
 mod scheduling;
 mod shard;
@@ -78,6 +81,10 @@ impl SimSetup {
         let catalog = Catalog::generate(&config.workload, &mut rng_setup);
         let num_peers = config.num_peers;
         let kinds = config.behaviors.assign(num_peers, &mut rng_setup);
+        // Capacity classes draw from the setup stream *after* behaviors, and
+        // the homogeneous default consumes no randomness at all — existing
+        // seeded topologies are bit-identical.
+        let classes = config.classes.assign(num_peers, &mut rng_setup);
 
         let mut peers = Vec::with_capacity(num_peers);
         for (index, behavior) in kinds.iter().enumerate() {
@@ -96,6 +103,8 @@ impl SimSetup {
                 id: PeerId::new(index as u32),
                 behavior: *behavior,
                 sharing: behavior.build().uploads(),
+                online: true,
+                capacity: classes[index],
                 interests,
                 storage,
                 upload_slots: SlotPool::new(config.link.upload_slots()),
@@ -160,6 +169,9 @@ pub struct PhaseProfile {
     pub transfers: Duration,
     /// Time spent in storage-maintenance passes.
     pub maintenance: Duration,
+    /// Time spent in population-dynamics events (churn departures and
+    /// rejoins, catastrophic removals, flash-crowd releases).
+    pub population: Duration,
 }
 
 /// One run of the file-sharing system.
@@ -199,6 +211,10 @@ pub struct Simulation {
     rng_requests: DetRng,
     rng_lookup: DetRng,
     rng_storage: DetRng,
+    /// Drives the population-dynamics processes: per-peer session/downtime
+    /// draws and flash-crowd requester sampling.  A dedicated keyed stream,
+    /// so enabling churn never perturbs the request/lookup/storage draws.
+    rng_churn: DetRng,
     scheduler: Box<dyn UploadScheduler<PeerId>>,
     /// Memoised ring-search results (see [`RingCandidateCache`]); only
     /// consulted when [`SimConfig::ring_candidate_cache`] is set.
@@ -311,6 +327,14 @@ impl Simulation {
         if num_peers > 0 {
             engine.schedule_at(SimTime::ZERO, Event::Arrive(PeerId::new(0)));
         }
+        // Scripted population events are fixed points on the timeline; the
+        // engine's horizon naturally drops any scheduled past the end.
+        if let Some(catastrophe) = &config.catastrophe {
+            engine.schedule_at(SimTime::from_secs_f64(catastrophe.at_s), Event::Catastrophe);
+        }
+        if let Some(flash) = &config.flash_crowd {
+            engine.schedule_at(SimTime::from_secs_f64(flash.at_s), Event::FlashCrowd);
+        }
 
         let report = SimReport::new(num_peers);
         let ring_cache = RingCandidateCache::with_granularity(config.ring_cache_granularity);
@@ -340,6 +364,7 @@ impl Simulation {
             rng_requests: root_rng.stream("requests"),
             rng_lookup: root_rng.stream("lookup"),
             rng_storage: root_rng.stream("storage"),
+            rng_churn: root_rng.stream("churn"),
             scheduler: config.scheduler.build(),
             config,
             catalog,
@@ -428,6 +453,10 @@ impl Simulation {
             Event::TrySchedule(peer) => self.handle_try_schedule(peer),
             Event::BlockComplete(transfer) => self.handle_block_complete(transfer),
             Event::StorageMaintenance(peer) => self.handle_storage_maintenance(peer),
+            Event::Depart(peer) => self.handle_depart(peer),
+            Event::Rejoin(peer) => self.handle_rejoin(peer),
+            Event::Catastrophe => self.handle_catastrophe(),
+            Event::FlashCrowd => self.handle_flash_crowd(),
         }
     }
 
@@ -456,6 +485,22 @@ impl Simulation {
             Event::StorageMaintenance(peer) => {
                 self.handle_storage_maintenance(peer);
                 profile.maintenance += start.elapsed();
+            }
+            Event::Depart(peer) => {
+                self.handle_depart(peer);
+                profile.population += start.elapsed();
+            }
+            Event::Rejoin(peer) => {
+                self.handle_rejoin(peer);
+                profile.population += start.elapsed();
+            }
+            Event::Catastrophe => {
+                self.handle_catastrophe();
+                profile.population += start.elapsed();
+            }
+            Event::FlashCrowd => {
+                self.handle_flash_crowd();
+                profile.population += start.elapsed();
             }
         }
     }

@@ -48,7 +48,9 @@ impl Simulation {
         provider: PeerId,
         plan: Option<&mut PlannedProvider>,
     ) {
-        if !self.peer(provider).sharing {
+        // A departed peer serves nobody; a stale TrySchedule queued before
+        // its departure is a no-op.
+        if !self.peer(provider).sharing || !self.peer(provider).online {
             return;
         }
         let (mut serve_queue, plan) = match plan {

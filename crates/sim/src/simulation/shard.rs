@@ -71,7 +71,9 @@ pub(super) fn claims_with(
     object: ObjectId,
 ) -> bool {
     let state = &peers[peer.as_usize()];
-    if !state.sharing {
+    // A departed peer claims nothing: its holdings are unreachable until it
+    // rejoins, and a middleman's standing edges are torn down at departure.
+    if !state.sharing || !state.online {
         return false;
     }
     if state.storage.contains(object) {
@@ -292,7 +294,8 @@ impl Simulation {
         let mut seen: HashSet<PeerId> = HashSet::with_capacity(batch.len());
         let mut tasks: Vec<(PeerId, Vec<ObjectId>, bool)> = Vec::with_capacity(batch.len());
         for &provider in batch {
-            if !seen.insert(provider) || !self.peer(provider).sharing {
+            if !seen.insert(provider) || !self.peer(provider).sharing || !self.peer(provider).online
+            {
                 continue;
             }
             let wants = self.peer(provider).wanted_objects();

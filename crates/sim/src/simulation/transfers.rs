@@ -68,7 +68,11 @@ impl Simulation {
             .reserve()
             .expect("checked free download slot");
 
-        let rate = self.config.link.slot_bytes_per_sec();
+        // The uploader's access-link class scales its per-slot rate (Medium's
+        // ×1.0 is IEEE-exact, so homogeneous populations are bit-identical
+        // to the pre-class code).
+        let rate =
+            self.config.link.slot_bytes_per_sec() * self.peer(uploader).capacity.rate_multiplier();
         let session = TransferSession::new(rate, self.config.block_bytes, now);
         let validation = match self.config.protection {
             Protection::Windowed { max_window } if kind.is_exchange() => {
@@ -309,11 +313,13 @@ impl Simulation {
         let ciphertext = self.ciphertext_downloader(downloader);
         let class = self.peer(downloader).class();
         let behavior = self.peer(downloader).behavior;
+        let capacity = self.peer(downloader).capacity;
         if self.measuring() {
             if ciphertext {
                 self.report.record_ciphertext_download(behavior);
             } else {
-                self.report.record_download(class, behavior, minutes);
+                self.report
+                    .record_download(class, behavior, capacity, minutes);
             }
         }
 
@@ -407,9 +413,13 @@ impl Simulation {
                 let announced = self.behavior(peer).reported_participation(honest);
                 self.scheduler.on_participation_report(peer, announced);
             }
-            // The freed upload slot can immediately be refilled.
-            self.engine
-                .schedule_now(Event::TrySchedule(transfer.uploader));
+            // The freed upload slot can immediately be refilled — unless the
+            // uploader is the one leaving (a departure teardown flips its
+            // `online` flag before ending its sessions).
+            if self.peer(transfer.uploader).online {
+                self.engine
+                    .schedule_now(Event::TrySchedule(transfer.uploader));
+            }
         }
     }
 

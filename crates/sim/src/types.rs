@@ -89,6 +89,9 @@ pub enum SessionEnd {
     CheatDetected,
     /// The run's horizon was reached while the session was still active.
     HorizonReached,
+    /// One endpoint of the session left the system (churn or catastrophe)
+    /// while the session was still active.
+    PeerDeparted,
 }
 
 impl SessionEnd {
@@ -102,6 +105,7 @@ impl SessionEnd {
             SessionEnd::SourceLostObject => "source-lost-object",
             SessionEnd::CheatDetected => "cheat-detected",
             SessionEnd::HorizonReached => "horizon-reached",
+            SessionEnd::PeerDeparted => "peer-departed",
         }
     }
 }
@@ -146,6 +150,7 @@ mod tests {
             SessionEnd::SourceLostObject,
             SessionEnd::CheatDetected,
             SessionEnd::HorizonReached,
+            SessionEnd::PeerDeparted,
         ];
         let mut labels: Vec<&str> = ends.iter().map(|e| e.label()).collect();
         labels.sort_unstable();

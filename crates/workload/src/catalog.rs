@@ -134,6 +134,29 @@ impl Catalog {
         &self.category_weights
     }
 
+    /// Releases a new object into `category` mid-run (a flash-crowd drop).
+    ///
+    /// The object is appended as the category's least-popular rank — organic
+    /// popularity draws pick it up from there; the synthetic burst of
+    /// requesters is the caller's job.  Returns the new object's id, which
+    /// extends the dense id space by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the category id is out of range.
+    pub fn release_object(&mut self, category: CategoryId, size_bytes: u64) -> ObjectId {
+        let ids = &mut self.by_category[category.as_usize()];
+        let id = ObjectId::new(self.objects.len() as u32);
+        self.objects.push(ObjectInfo {
+            id,
+            category,
+            rank_in_category: ids.len() as u32,
+            size_bytes,
+        });
+        ids.push(id);
+        id
+    }
+
     /// Iterates over all objects.
     pub fn iter(&self) -> impl Iterator<Item = &ObjectInfo> {
         self.objects.iter()
@@ -204,6 +227,23 @@ mod tests {
             catalog.size_bytes(ObjectId::new(0)),
             config.object_size_bytes
         );
+    }
+
+    #[test]
+    fn released_object_joins_its_category_at_last_rank() {
+        let mut catalog = small_catalog(8);
+        let before = catalog.num_objects();
+        let cat = CategoryId::new(0);
+        let old_len = catalog.objects_in_category(cat).len();
+        let id = catalog.release_object(cat, 123);
+        assert_eq!(id.as_usize(), before);
+        assert!(catalog.contains(id));
+        let info = catalog.object(id);
+        assert_eq!(info.category, cat);
+        assert_eq!(info.rank_in_category as usize, old_len);
+        assert_eq!(info.size_bytes, 123);
+        assert_eq!(catalog.objects_in_category(cat).last(), Some(&id));
+        assert_eq!(catalog.num_objects(), before + 1);
     }
 
     #[test]

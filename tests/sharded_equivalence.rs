@@ -6,8 +6,9 @@
 
 use p2p_exchange::exchange::ExchangePolicy;
 use p2p_exchange::sim::{
-    BehaviorKind, BehaviorMix, CacheGranularity, PeerClass, Protection, SchedulerKind, SessionKind,
-    SimConfig, SimReport, Simulation,
+    BehaviorKind, BehaviorMix, CacheGranularity, CapacityClass, CatastropheConfig, ChurnConfig,
+    ClassMix, FlashCrowdConfig, PeerClass, Protection, SchedulerKind, SessionKind, SimConfig,
+    SimReport, Simulation,
 };
 
 /// An exhaustive comparable fingerprint of one run, down to the cache
@@ -152,6 +153,88 @@ fn sharded_equivalence_holds_under_every_scheduler_and_discipline() {
             "{}",
             discipline.label()
         );
+    }
+}
+
+/// The busy configuration under full population dynamics: churn departures
+/// and rejoins land mid-batch, a catastrophe rips out the top uploaders, a
+/// flash crowd releases a new object, and the peers span all three capacity
+/// classes.
+fn churny_config() -> SimConfig {
+    let mut config = busy_config();
+    config.churn = Some(ChurnConfig {
+        mean_session_s: 400.0,
+        mean_downtime_s: 150.0,
+    });
+    config.catastrophe = Some(CatastropheConfig {
+        at_s: 800.0,
+        top_k: 4,
+    });
+    config.flash_crowd = Some(FlashCrowdConfig {
+        at_s: 1_000.0,
+        requesters: 12,
+        seed_holders: 2,
+    });
+    config.classes = ClassMix::weighted([
+        (CapacityClass::Fast, 0.25),
+        (CapacityClass::Medium, 0.5),
+        (CapacityClass::Slow, 0.25),
+    ]);
+    config
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_under_population_dynamics() {
+    // Mid-batch departures must split batches exactly where the sequential
+    // engine would: the fingerprint includes the ring-cache counters, which
+    // only match if every departure's invalidations replay in order.
+    for seed in [1, 17] {
+        let sequential = run_with_shards(churny_config(), 1, seed);
+        assert!(
+            sequential
+                .session_end_counts()
+                .keys()
+                .any(|end| { format!("{end:?}").contains("PeerDeparted") }),
+            "seed {seed}: churn must actually cut sessions for this test to bite"
+        );
+        for shards in [4, 8] {
+            let sharded = run_with_shards(churny_config(), shards, seed);
+            assert_eq!(
+                fingerprint(&sharded),
+                fingerprint(&sequential),
+                "shards={shards} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn population_scenarios_report_per_class_fairness_cdfs() {
+    // Catastrophe-only and flash-crowd-only scenarios must each surface the
+    // per-capacity-class download-time CDFs of paper Figures 7–8.
+    let mut catastrophe = churny_config();
+    catastrophe.churn = None;
+    catastrophe.flash_crowd = None;
+    let mut flash = churny_config();
+    flash.churn = None;
+    flash.catastrophe = None;
+    for (name, config) in [("catastrophe", catastrophe), ("flash-crowd", flash)] {
+        let report = run_with_shards(config, 1, 3);
+        let classes = report.observed_capacity_classes();
+        assert!(
+            classes.len() >= 2,
+            "{name}: a mixed-class run must finish downloads in 2+ classes, got {classes:?}"
+        );
+        for class in classes {
+            let cdf = report
+                .capacity_fairness_cdf(class)
+                .unwrap_or_else(|| panic!("{name}: class {class:?} observed but has no CDF"));
+            assert!(!cdf.is_empty(), "{name}: empty CDF for {class:?}");
+            assert!(
+                report.capacity_download_percentile(class, 0.5).is_some(),
+                "{name}: no median for {class:?}"
+            );
+        }
     }
 }
 

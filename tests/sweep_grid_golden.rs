@@ -8,17 +8,22 @@
 
 use std::path::PathBuf;
 
-use p2p_exchange::sim::{Axis, Scenario, SimConfig};
+use p2p_exchange::sim::{Axis, CapacityClass, ClassMix, Scenario, SimConfig};
 
 /// The fixed grid behind both snapshots: small, fast and fully
 /// deterministic (the simulator is seeded; the scenario engine's row order
-/// is independent of thread scheduling).
+/// is independent of thread scheduling).  The class-mix axis pins the
+/// per-capacity fairness columns (PR 8) alongside the original metrics.
 fn golden_grid() -> p2p_exchange::sim::SweepGrid {
     let mut config = SimConfig::quick_test();
     config.num_peers = 12;
     config.sim_duration_s = 900.0;
     Scenario::from(config)
         .vary(Axis::UploadKbps(vec![60.0, 100.0]))
+        .classes([
+            ClassMix::uniform(),
+            ClassMix::weighted([(CapacityClass::Fast, 0.5), (CapacityClass::Slow, 0.5)]),
+        ])
         .seeds(0..2)
         .run()
 }
