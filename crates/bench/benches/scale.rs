@@ -49,6 +49,17 @@
 //! `--fanout` (defaults 512 / 8) bound the ring search the way a
 //! production deployment at this scale must, keeping per-search cost and
 //! cached-search dependency footprints population-independent.
+//!
+//! **Checkpoint mode** (kill-and-resume drills): `--checkpoint-every <secs>
+//! --checkpoint-path <file>` runs one entry-granularity simulation of the
+//! selected tier (first seed, `--shards` honoured), writing its latest
+//! snapshot to `<file>` every interval — atomically, via a temp file and
+//! rename, so a `SIGKILL` mid-write still leaves a complete checkpoint —
+//! and prints a fingerprint JSON.  `--resume-from <file>` restores that
+//! snapshot under the identical tier flags, runs to the horizon, and prints
+//! the **same** fingerprint JSON: a killed-then-resumed run must produce
+//! output byte-identical to an uninterrupted one (the CI smoke asserts
+//! exactly this with `diff`).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -348,6 +359,82 @@ fn run_tier(
     tier
 }
 
+/// The run fingerprint the kill-and-resume smoke compares: identical JSON
+/// from an uninterrupted checkpointed run and from a resumed one.
+fn fingerprint_json(label: &str, config: &SimConfig, seed: u64, report: &SimReport) -> String {
+    let cache = report.ring_cache_stats();
+    format!(
+        "{{\"bench\":\"scale-checkpoint\",\"tier\":\"{label}\",\"peers\":{},\"seed\":{seed},\
+         \"fingerprint\":{{\"completed_downloads\":{},\"total_sessions\":{},\"total_rings\":{},\
+         \"ring_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}}}}}}",
+        config.num_peers,
+        report.completed_downloads(),
+        report.total_sessions(),
+        report.total_rings(),
+        cache.hits,
+        cache.misses,
+        cache.invalidations,
+    )
+}
+
+/// Checkpoint/resume mode: one entry-granularity run of the selected tier
+/// on the first seed, either checkpointing every `every` virtual seconds to
+/// `path` (atomic temp-file + rename) or resuming from an existing snapshot.
+/// Both paths print the same fingerprint JSON on success.
+fn run_checkpoint_mode(
+    label: &str,
+    peers: usize,
+    population: bool,
+    seed: u64,
+    options: TierOptions,
+    checkpoint: Option<(f64, &str)>,
+    resume_from: Option<&str>,
+) -> String {
+    let mut config = tier_config(peers, options);
+    if population {
+        population_config(&mut config, options);
+    }
+    config.ring_cache_granularity = CacheGranularity::Entry;
+    config.shards = options.shards;
+    config.checkpoint_every_s = checkpoint.map(|(every, _)| every);
+
+    let report = match resume_from {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("scale bench: cannot read checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            let simulation = Simulation::restore(&mut &bytes[..], &config).unwrap_or_else(|e| {
+                eprintln!("scale bench: cannot restore {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("== tier {label}: resuming from {path} ==");
+            simulation.run()
+        }
+        None => {
+            let (every, path) = checkpoint.expect("checkpoint mode needs one of the two flags");
+            let tmp = format!("{path}.tmp");
+            eprintln!("== tier {label}: checkpointing every {every}s to {path} ==");
+            Simulation::new(config.clone(), seed).run_checkpointed(every, |at, simulation| {
+                let write = || -> std::io::Result<()> {
+                    let mut file = std::fs::File::create(&tmp)?;
+                    simulation
+                        .checkpoint(&mut file)
+                        .map_err(std::io::Error::other)?;
+                    drop(file);
+                    std::fs::rename(&tmp, path)
+                };
+                write().unwrap_or_else(|e| {
+                    eprintln!("scale bench: cannot write checkpoint at t={at} to {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("   checkpoint at t={at} -> {path}");
+            })
+        }
+    };
+    fingerprint_json(label, &config, seed, &report)
+}
+
 fn phase_json(profile: &PhaseProfile) -> String {
     format!(
         "{{\"events\":{},\"event_loop_s\":{:.3},\"generate_requests_s\":{:.3},\
@@ -455,6 +542,9 @@ fn main() {
         shards: 1,
     };
     let mut baselines: Vec<(String, f64)> = Vec::new();
+    let mut checkpoint_every: Option<f64> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_from: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match (args[i].as_str(), args.get(i + 1)) {
@@ -522,6 +612,22 @@ fn main() {
                 }
                 i += 1;
             }
+            ("--checkpoint-every", Some(v)) => {
+                if let Ok(s) = v.parse::<f64>() {
+                    if s > 0.0 && s.is_finite() {
+                        checkpoint_every = Some(s);
+                    }
+                }
+                i += 1;
+            }
+            ("--checkpoint-path", Some(v)) => {
+                checkpoint_path = Some(v.clone());
+                i += 1;
+            }
+            ("--resume-from", Some(v)) => {
+                resume_from = Some(v.clone());
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
@@ -564,6 +670,45 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if checkpoint_every.is_some() || resume_from.is_some() {
+        let [(label, peers, population)] = selected.as_slice() else {
+            eprintln!("scale bench: checkpoint mode needs a single tier (got '{tier_arg}')");
+            std::process::exit(2);
+        };
+        let checkpoint = match (checkpoint_every, &checkpoint_path) {
+            (Some(every), Some(path)) => Some((every, path.as_str())),
+            (Some(_), None) => {
+                eprintln!("scale bench: --checkpoint-every needs --checkpoint-path <file>");
+                std::process::exit(2);
+            }
+            (None, _) => None,
+        };
+        if checkpoint.is_some() && resume_from.is_some() {
+            eprintln!("scale bench: --checkpoint-every and --resume-from are mutually exclusive");
+            std::process::exit(2);
+        }
+        let json = run_checkpoint_mode(
+            label,
+            *peers,
+            *population,
+            seed_list[0],
+            options,
+            checkpoint,
+            resume_from.as_deref(),
+        );
+        match out {
+            Some(path) => {
+                std::fs::write(&path, &json).unwrap_or_else(|e| {
+                    eprintln!("scale bench: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("scale bench: wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
 
     // Measure the machine yardstick before the tiers run: the host is idle
     // and thermally unexcited here, matching how the reference loop behaves

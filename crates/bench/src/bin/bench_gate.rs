@@ -34,6 +34,17 @@
 //! The workspace has no JSON dependency (serde is an offline stub), so a
 //! ~90-line recursive-descent parser lives below; it accepts exactly the
 //! JSON subset the scale bench emits.
+//!
+//! **Stream mode.**  `bench_gate --stream <rows.jsonl> [--min-rows N]`
+//! consumes a JSON-lines sweep stream (the `--stream` output of the figure
+//! binaries / `Scenario::run_streamed`) instead of comparing bench timings.
+//! The stream may be *partial*: a run killed mid-sweep leaves complete rows
+//! plus at most one truncated trailing line, which is tolerated and
+//! reported.  A malformed line anywhere else is a hard error.  The gate
+//! prints per-point row counts and mean completed downloads, and exits
+//! non-zero when fewer than `--min-rows` (default 1) complete rows were
+//! recovered — so CI can assert a killed nightly still left a usable
+//! monitoring artifact.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -318,9 +329,90 @@ fn phase_means(root: &Json, tier: &str, mode: &str) -> Result<Side, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline <BENCH_scale.json> --current <smoke.json> \
-         [--tier 1k] [--mode entry-warm] [--tolerance 0.25] [--min-phase-s 0.05]"
+         [--tier 1k] [--mode entry-warm] [--tolerance 0.25] [--min-phase-s 0.05]\n\
+         \x20      bench_gate --stream <rows.jsonl> [--min-rows 1]"
     );
     std::process::exit(2)
+}
+
+/// Consumes a possibly-truncated JSON-lines sweep stream: counts complete
+/// rows per grid point, tolerates one partial trailing line (the kill
+/// case), and fails when fewer than `min_rows` complete rows survive.
+fn gate_stream(path: &str, min_rows: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    // (rows, completed-downloads sum, how many rows reported the metric)
+    let mut points: BTreeMap<u64, (usize, f64, usize)> = BTreeMap::new();
+    let mut rows = 0usize;
+    let mut truncated = false;
+    for (index, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = match Parser::parse(line) {
+            Ok(row) => row,
+            Err(e) if index == lines.len() - 1 => {
+                // A SIGKILL between write and flush leaves one partial line;
+                // everything before it is still a complete record.
+                eprintln!("bench_gate: tolerating truncated final line ({e})");
+                truncated = true;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {path} line {}: {e}", index + 1);
+                return ExitCode::from(2);
+            }
+        };
+        let (Some(point), Some(_seed)) = (
+            row.get("point").and_then(Json::as_f64),
+            row.get("seed").and_then(Json::as_f64),
+        ) else {
+            eprintln!(
+                "bench_gate: {path} line {}: not a sweep row (missing point/seed)",
+                index + 1
+            );
+            return ExitCode::from(2);
+        };
+        rows += 1;
+        let entry = points.entry(point as u64).or_insert((0, 0.0, 0));
+        entry.0 += 1;
+        if let Some(completed) = row
+            .get("metrics")
+            .and_then(|m| m.get("completed_downloads"))
+            .and_then(Json::as_f64)
+        {
+            entry.1 += completed;
+            entry.2 += 1;
+        }
+    }
+    println!(
+        "bench_gate: {path}: {rows} complete row(s) across {} point(s){}",
+        points.len(),
+        if truncated {
+            " (stream truncated mid-line)"
+        } else {
+            ""
+        }
+    );
+    for (point, (count, sum, reported)) in &points {
+        let mean = if *reported > 0 {
+            format!("{:.1}", sum / *reported as f64)
+        } else {
+            "n/a".to_string()
+        };
+        println!("  point {point}: {count} row(s), mean completed_downloads {mean}");
+    }
+    if rows < min_rows {
+        eprintln!("bench_gate: only {rows} complete row(s), need at least {min_rows}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -331,6 +423,8 @@ fn main() -> ExitCode {
     let mut mode = "entry-warm".to_string();
     let mut tolerance = 0.25f64;
     let mut min_phase_s = 0.05f64;
+    let mut stream_path = None;
+    let mut min_rows = 1usize;
     let mut i = 0;
     while i < args.len() {
         match (args[i].as_str(), args.get(i + 1)) {
@@ -340,9 +434,14 @@ fn main() -> ExitCode {
             ("--mode", Some(v)) => mode = v.clone(),
             ("--tolerance", Some(v)) => tolerance = v.parse().unwrap_or_else(|_| usage()),
             ("--min-phase-s", Some(v)) => min_phase_s = v.parse().unwrap_or_else(|_| usage()),
+            ("--stream", Some(v)) => stream_path = Some(v.clone()),
+            ("--min-rows", Some(v)) => min_rows = v.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 2;
+    }
+    if let Some(path) = stream_path {
+        return gate_stream(&path, min_rows);
     }
     if let Ok(raw) = std::env::var("BENCH_GATE_TOLERANCE") {
         match raw.parse::<f64>() {

@@ -18,9 +18,7 @@ fn main() {
 
     let outstanding = [2usize, 4, 6, 8, 10];
     let categories = [2u32, 4, 8];
-    let grid = outstanding_scenario(&base, &outstanding, &categories)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(outstanding_scenario(&base, &outstanding, &categories));
 
     let mut table = Table::new(vec![
         "max outstanding",

@@ -17,9 +17,7 @@ fn main() {
 
     let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
     let policies = ExchangePolicy::paper_set();
-    let grid = freerider_scenario(&base, &policies, &fractions)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(freerider_scenario(&base, &policies, &fractions));
 
     let mut table = Table::new(vec![
         "non-sharing fraction",

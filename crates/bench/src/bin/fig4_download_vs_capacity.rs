@@ -18,9 +18,7 @@ fn main() {
 
     let capacities = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0];
     let policies = ExchangePolicy::paper_set();
-    let grid = capacity_scenario(&base, &policies, &capacities)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(capacity_scenario(&base, &policies, &capacities));
 
     let mut table = Table::new(vec![
         "upload kbit/s",

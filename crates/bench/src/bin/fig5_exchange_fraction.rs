@@ -20,9 +20,7 @@ fn main() {
         ExchangePolicy::five_two_way(),
         ExchangePolicy::two_five_way(),
     ];
-    let grid = capacity_scenario(&base, &policies, &capacities)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(capacity_scenario(&base, &policies, &capacities));
 
     let mut table = Table::new(vec!["upload kbit/s", "pairwise", "5-2-way", "2-5-way"]);
     for &capacity in &capacities {

@@ -16,9 +16,7 @@ fn main() {
     );
 
     let sizes = [2usize, 3, 4, 5, 6, 7];
-    let grid = ring_size_scenario(&base, &sizes)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(ring_size_scenario(&base, &sizes));
 
     let mut table = Table::new(vec![
         "max ring N",

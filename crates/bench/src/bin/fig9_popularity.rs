@@ -17,9 +17,7 @@ fn main() {
 
     let factors = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let policies = ExchangePolicy::paper_set();
-    let grid = popularity_scenario(&base, &policies, &factors)
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(popularity_scenario(&base, &policies, &factors));
 
     let mut table = Table::new(vec![
         "f",

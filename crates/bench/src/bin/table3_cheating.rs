@@ -27,10 +27,10 @@ fn main() {
         (BehaviorKind::ParticipationCheater, 0.1),
         (BehaviorKind::Middleman, 0.15),
     ]);
-    let grid = cheating_scenario(&base, &[adversarial], &Protection::all_basic())
-        .schedulers(SchedulerKind::all())
-        .seeds(options.seed_range())
-        .run();
+    let grid = options.run_grid(
+        cheating_scenario(&base, &[adversarial], &Protection::all_basic())
+            .schedulers(SchedulerKind::all()),
+    );
 
     let mut table = Table::new(vec![
         "protection",

@@ -11,6 +11,10 @@
 //! * `--seeds <n>` — how many consecutive seeds to run per grid point
 //!   (default 3); points are aggregated as mean ± 95% CI over the seeds and
 //!   executed in parallel by the scenario engine.
+//! * `--stream <file.jsonl>` — additionally stream every completed
+//!   `(point, seed)` row to `file.jsonl` as one JSON object per line, in
+//!   completion order, flushed per line — a run killed partway leaves a
+//!   parsable prefix that `bench_gate --stream` can consume.
 //!
 //! The binaries print the same rows/series the paper reports, using
 //! [`metrics::Table`].
@@ -18,10 +22,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use sim::{Aggregate, SimConfig};
+use sim::{Aggregate, Scenario, SimConfig, SweepGrid};
 
 /// Command-line options shared by every figure binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureOptions {
     /// Duration scale factor relative to the full-length experiment.
     pub scale: f64,
@@ -35,6 +39,8 @@ pub struct FigureOptions {
     /// system's time constant so that scaled-down runs still reach steady
     /// state — see EXPERIMENTS.md).
     pub object_mb: u64,
+    /// When set, stream completed sweep rows to this JSON-lines file.
+    pub stream: Option<String>,
 }
 
 impl Default for FigureOptions {
@@ -45,6 +51,7 @@ impl Default for FigureOptions {
             seed: 1,
             seeds: 3,
             object_mb: 20,
+            stream: None,
         }
     }
 }
@@ -99,6 +106,10 @@ impl FigureOptions {
                     }
                     i += 1;
                 }
+                ("--stream", Some(v)) => {
+                    options.stream = Some(v.clone());
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -126,6 +137,30 @@ impl FigureOptions {
     #[must_use]
     pub fn seed_range(&self) -> std::ops::Range<u64> {
         self.seed..self.seed + self.seeds
+    }
+
+    /// Runs a scenario under this figure's seeds, honouring `--stream`: with
+    /// it, completed rows are streamed to the JSON-lines file as they finish
+    /// (see [`Scenario::run_streamed`]); without it, this is a plain
+    /// [`Scenario::run`].  The returned grid is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream file cannot be created or written — a figure
+    /// run asked to leave a monitoring artifact must not silently drop it.
+    #[must_use]
+    pub fn run_grid(&self, scenario: Scenario) -> SweepGrid {
+        let scenario = scenario.seeds(self.seed_range());
+        match &self.stream {
+            Some(path) => {
+                let mut file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create stream file {path}: {e}"));
+                scenario
+                    .run_streamed(&mut file)
+                    .unwrap_or_else(|e| panic!("cannot stream rows to {path}: {e}"))
+            }
+            None => scenario.run(),
+        }
     }
 }
 

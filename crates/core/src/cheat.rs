@@ -110,6 +110,48 @@ impl WindowedExchange {
         self.invalid_blocks
     }
 
+    /// The block size this exchange validates, in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// The configured window cap in blocks.
+    #[must_use]
+    pub fn max_window(&self) -> u32 {
+        self.max_window
+    }
+
+    /// Rebuilds an exchange from checkpointed parts, preserving the adaptive
+    /// window mid-growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parts no live exchange can produce: zero sizes, or a window
+    /// outside `1..=max_window`.
+    #[must_use]
+    pub fn from_parts(
+        block_bytes: u64,
+        window: u32,
+        max_window: u32,
+        validated_rounds: u32,
+        invalid_blocks: u32,
+    ) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        assert!(max_window > 0, "maximum window must be positive");
+        assert!(
+            (1..=max_window).contains(&window),
+            "window {window} outside 1..={max_window}"
+        );
+        WindowedExchange {
+            block_bytes,
+            window,
+            max_window,
+            validated_rounds,
+            invalid_blocks,
+        }
+    }
+
     /// Records a fully validated round; the window grows by one block, up to
     /// the cap.
     pub fn on_round_validated(&mut self) {

@@ -135,6 +135,39 @@ impl<P: Key, O: Key> RequestGraph<P, O> {
         !self.dirty.is_empty() || !self.dirty_edges.is_empty()
     }
 
+    /// The undrained peer view of the dirty log, without draining it.
+    ///
+    /// Checkpointing must capture the pending log exactly — a consumer that
+    /// has not drained yet will drain after restore and must see the same
+    /// invalidations.
+    #[must_use]
+    pub fn dirty_peers(&self) -> &BTreeSet<P> {
+        &self.dirty
+    }
+
+    /// The undrained edge view of the dirty log, without draining it.
+    #[must_use]
+    pub fn dirty_edge_log(&self) -> &BTreeSet<(P, P, O)> {
+        &self.dirty_edges
+    }
+
+    /// Rebuilds a graph from checkpointed parts: its edges plus the exact
+    /// mutation-tracking state (`generation` and both undrained dirty
+    /// views).  The edge count is derived from `edges`.
+    #[must_use]
+    pub fn from_parts(
+        edges: impl IntoIterator<Item = (P, P, O)>,
+        generation: u64,
+        dirty: BTreeSet<P>,
+        dirty_edges: BTreeSet<(P, P, O)>,
+    ) -> Self {
+        let mut graph: RequestGraph<P, O> = edges.into_iter().collect();
+        graph.generation = generation;
+        graph.dirty = dirty;
+        graph.dirty_edges = dirty_edges;
+        graph
+    }
+
     fn mark_edge_dirty(&mut self, requester: P, provider: P, object: O) {
         self.generation += 1;
         self.dirty.insert(requester);

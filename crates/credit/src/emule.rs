@@ -79,6 +79,37 @@ impl<P: Key> EmuleCredit<P> {
             .get(&(provider, requester))
             .map_or(0, |v| v.uploaded_to_me)
     }
+
+    /// Every recorded pair as `(provider, requester, uploaded_to_me,
+    /// downloaded_from_me)`, sorted by key — a canonical export for
+    /// checkpointing.
+    #[must_use]
+    pub fn export_volumes(&self) -> Vec<(P, P, u64, u64)> {
+        let mut rows: Vec<(P, P, u64, u64)> = self
+            .volumes
+            // exchange-lint: allow(D001, reason = "collected and sorted by key before any caller sees it")
+            .iter()
+            .map(|((p, r), v)| (*p, *r, v.uploaded_to_me, v.downloaded_from_me))
+            .collect();
+        rows.sort_unstable_by_key(|(p, r, _, _)| (*p, *r));
+        rows
+    }
+
+    /// Replaces the credit table with previously exported rows.
+    pub fn import_volumes(&mut self, rows: Vec<(P, P, u64, u64)>) {
+        self.volumes = rows
+            .into_iter()
+            .map(|(p, r, up, down)| {
+                (
+                    (p, r),
+                    PairVolumes {
+                        uploaded_to_me: up,
+                        downloaded_from_me: down,
+                    },
+                )
+            })
+            .collect();
+    }
 }
 
 impl<P: Key> IncentiveMechanism<P> for EmuleCredit<P> {

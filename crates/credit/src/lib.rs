@@ -54,7 +54,7 @@ pub use emule::EmuleCredit;
 pub use exchange_order::ExchangeOrder;
 pub use fifo::Fifo;
 pub use participation::ParticipationLevel;
-pub use scheduler::{SchedulerKind, UploadScheduler};
+pub use scheduler::{SchedulerKind, SchedulerState, UploadScheduler};
 pub use tit_for_tat::TitForTat;
 
 use exchange::Key;

@@ -33,6 +33,14 @@ pub struct ParticipationLevel<P: Key> {
     honest_volume: HashMap<P, u64>,
 }
 
+/// Sorted `(peer, announced_level)` rows, as exported by
+/// [`ParticipationLevel::export_levels`].
+pub type ReportedLevels<P> = Vec<(P, f64)>;
+
+/// Sorted `(peer, honest_bytes)` rows, as exported by
+/// [`ParticipationLevel::export_levels`].
+pub type HonestVolumes<P> = Vec<(P, u64)>;
+
 impl<P: Key> ParticipationLevel<P> {
     /// Creates the mechanism with no reports.
     #[must_use]
@@ -77,6 +85,26 @@ impl<P: Key> ParticipationLevel<P> {
     #[must_use]
     pub fn divergence(&self, peer: P) -> f64 {
         self.reported_level(peer) - self.honest_level(peer)
+    }
+
+    /// Both tables as sorted rows (`(peer, announced_level)` and
+    /// `(peer, honest_bytes)`) — a canonical export for checkpointing.
+    #[must_use]
+    pub fn export_levels(&self) -> (ReportedLevels<P>, HonestVolumes<P>) {
+        // exchange-lint: allow(D001, reason = "collected and sorted by key before any caller sees it")
+        let mut reported: Vec<(P, f64)> = self.reported.iter().map(|(p, l)| (*p, *l)).collect();
+        reported.sort_unstable_by_key(|(p, _)| *p);
+        // exchange-lint: allow(D001, reason = "collected and sorted by key before any caller sees it")
+        let mut honest: Vec<(P, u64)> = self.honest_volume.iter().map(|(p, b)| (*p, *b)).collect();
+        honest.sort_unstable_by_key(|(p, _)| *p);
+        (reported, honest)
+    }
+
+    /// Replaces both tables with previously exported rows.
+    pub fn import_levels(&mut self, reported: Vec<(P, f64)>, honest: Vec<(P, u64)>) {
+        // exchange-lint: allow(D001, reason = "iterates the sorted Vec argument, not a map")
+        self.reported = reported.into_iter().collect();
+        self.honest_volume = honest.into_iter().collect();
     }
 }
 

@@ -69,8 +69,50 @@ pub trait UploadScheduler<P: Key>: fmt::Debug + Send {
         false
     }
 
+    /// Exports the scheduler's mutable history for checkpointing.
+    ///
+    /// Stateless disciplines (FIFO, exchange priority) return
+    /// [`SchedulerState::Stateless`]; history-based ones export their tables
+    /// in a canonical sorted order so checkpoints are byte-stable.
+    fn export_state(&self) -> SchedulerState<P> {
+        SchedulerState::Stateless
+    }
+
+    /// Restores history previously captured by
+    /// [`UploadScheduler::export_state`] into a freshly built scheduler of
+    /// the same kind.  A state variant that does not match the scheduler is
+    /// ignored (there is nothing to restore into).
+    fn import_state(&mut self, state: SchedulerState<P>) {
+        let _ = state;
+    }
+
     /// A short, stable label for reports and figures.
     fn label(&self) -> &'static str;
+}
+
+/// The mutable history of an [`UploadScheduler`], in a serializable shape.
+///
+/// Produced by [`UploadScheduler::export_state`] and consumed by
+/// [`UploadScheduler::import_state`]; all tables are sorted by key so two
+/// checkpoints of the same state are byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerState<P> {
+    /// The scheduler keeps no history (FIFO, exchange priority).
+    Stateless,
+    /// eMule pairwise volumes: `(provider, requester, uploaded_to_me,
+    /// downloaded_from_me)` rows.
+    EmuleCredit(Vec<(P, P, u64, u64)>),
+    /// Tit-for-tat reciprocation volumes: `(provider, requester, bytes)`
+    /// rows.
+    TitForTat(Vec<(P, P, u64)>),
+    /// Self-reported participation levels and the honest upload volumes they
+    /// are compared against.
+    ParticipationLevel {
+        /// `(peer, announced_level)` rows.
+        reported: Vec<(P, f64)>,
+        /// `(peer, honest_upload_bytes)` rows.
+        honest: Vec<(P, u64)>,
+    },
 }
 
 macro_rules! impl_upload_scheduler_via_mechanism {
@@ -91,7 +133,55 @@ macro_rules! impl_upload_scheduler_via_mechanism {
     )*};
 }
 
-impl_upload_scheduler_via_mechanism!(Fifo, EmuleCredit<P>, TitForTat<P>);
+impl_upload_scheduler_via_mechanism!(Fifo);
+
+impl<P: Key + Send> UploadScheduler<P> for EmuleCredit<P> {
+    fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
+        self.record_transfer(uploader, downloader, bytes);
+    }
+
+    fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+        IncentiveMechanism::<P>::pick(self, provider, queue)
+    }
+
+    fn export_state(&self) -> SchedulerState<P> {
+        SchedulerState::EmuleCredit(self.export_volumes())
+    }
+
+    fn import_state(&mut self, state: SchedulerState<P>) {
+        if let SchedulerState::EmuleCredit(rows) = state {
+            self.import_volumes(rows);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        IncentiveMechanism::<P>::label(self)
+    }
+}
+
+impl<P: Key + Send> UploadScheduler<P> for TitForTat<P> {
+    fn on_transfer_complete(&mut self, uploader: P, downloader: P, bytes: u64) {
+        self.record_transfer(uploader, downloader, bytes);
+    }
+
+    fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
+        IncentiveMechanism::<P>::pick(self, provider, queue)
+    }
+
+    fn export_state(&self) -> SchedulerState<P> {
+        SchedulerState::TitForTat(self.export_received())
+    }
+
+    fn import_state(&mut self, state: SchedulerState<P>) {
+        if let SchedulerState::TitForTat(rows) = state {
+            self.import_received(rows);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        IncentiveMechanism::<P>::label(self)
+    }
+}
 
 impl<P: Key + Send> UploadScheduler<P> for ExchangeOrder {
     fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
@@ -125,6 +215,17 @@ impl<P: Key + Send> UploadScheduler<P> for ParticipationLevel<P> {
 
     fn pick(&mut self, provider: P, queue: &[QueuedRequest<P>]) -> Option<usize> {
         IncentiveMechanism::<P>::pick(self, provider, queue)
+    }
+
+    fn export_state(&self) -> SchedulerState<P> {
+        let (reported, honest) = self.export_levels();
+        SchedulerState::ParticipationLevel { reported, honest }
+    }
+
+    fn import_state(&mut self, state: SchedulerState<P>) {
+        if let SchedulerState::ParticipationLevel { reported, honest } = state {
+            self.import_levels(reported, honest);
+        }
     }
 
     fn label(&self) -> &'static str {

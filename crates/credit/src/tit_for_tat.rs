@@ -57,6 +57,27 @@ impl<P: Key> TitForTat<P> {
             .copied()
             .unwrap_or(0)
     }
+
+    /// Every recorded pair as `(provider, requester, bytes)`, sorted by key —
+    /// a canonical export for checkpointing.
+    #[must_use]
+    pub fn export_received(&self) -> Vec<(P, P, u64)> {
+        let mut rows: Vec<(P, P, u64)> = self
+            .received_from
+            // exchange-lint: allow(D001, reason = "collected and sorted by key before any caller sees it")
+            .iter()
+            .map(|((p, r), bytes)| (*p, *r, *bytes))
+            .collect();
+        rows.sort_unstable_by_key(|(p, r, _)| (*p, *r));
+        rows
+    }
+
+    /// Replaces the reciprocation table with previously exported rows.
+    /// The optimistic-unchoke weight is configuration, not history, and is
+    /// untouched.
+    pub fn import_received(&mut self, rows: Vec<(P, P, u64)>) {
+        self.received_from = rows.into_iter().map(|(p, r, b)| ((p, r), b)).collect();
+    }
 }
 
 impl<P: Key> Default for TitForTat<P> {

@@ -124,6 +124,48 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// The sequence number the next [`EventQueue::push`] will assign.
+    ///
+    /// Checkpointing must preserve this counter exactly: same-timestamp
+    /// delivery order is decided by `(time, seq)`, so a restored queue that
+    /// restarted the counter could interleave new events differently.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// All pending entries as `(time, seq, event)`, sorted by `(time, seq)`
+    /// — i.e. in the exact order [`EventQueue::pop`] would deliver them.
+    ///
+    /// The canonical order makes checkpoint bytes independent of the heap's
+    /// internal layout, so checkpoint → restore → checkpoint is byte-stable.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(SimTime, u64, E)> {
+        let mut entries: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        entries.sort_by_key(|(time, seq, _)| (*time, *seq));
+        entries
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Rebuilds a queue from checkpointed entries and the saved sequence
+    /// counter.  Entries keep their original `seq` values, so FIFO order
+    /// among same-timestamp events survives the round trip.
+    #[must_use]
+    pub fn from_parts(entries: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
+        let heap = entries
+            .into_iter()
+            .map(|(time, seq, event)| Entry { time, seq, event })
+            .collect();
+        EventQueue { heap, next_seq }
+    }
 }
 
 impl<E> Default for EventQueue<E> {

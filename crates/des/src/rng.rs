@@ -55,6 +55,26 @@ impl DetRng {
         self.seed
     }
 
+    /// The current internal xoshiro256++ state, for checkpointing.
+    ///
+    /// Together with [`DetRng::seed`] this captures the generator exactly:
+    /// [`DetRng::from_state`] rebuilds a generator that continues the same
+    /// sequence bit-for-bit and derives the same sub-streams.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a generator from a checkpointed `(seed, state)` pair.
+    ///
+    /// The `seed` determines stream derivation ([`DetRng::stream`] and
+    /// friends hash it, not the state); the `state` resumes the draw
+    /// sequence exactly where [`DetRng::state`] captured it.
+    #[must_use]
+    pub fn from_state(seed: u64, state: [u64; 4]) -> Self {
+        DetRng { seed, state }
+    }
+
     /// Derives an independent, reproducible sub-stream identified by `label`.
     ///
     /// The sub-stream depends only on the parent's seed and the label, not on

@@ -118,6 +118,29 @@ impl<E> Scheduler<E> {
         self.queue.peek()
     }
 
+    /// Read access to the underlying queue, for checkpointing.
+    #[must_use]
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Rebuilds a scheduler from checkpointed parts: the clock, the horizon,
+    /// the delivered-event counter, and the (already restored) queue.
+    #[must_use]
+    pub fn from_parts(
+        now: SimTime,
+        horizon: Option<SimTime>,
+        delivered: u64,
+        queue: EventQueue<E>,
+    ) -> Self {
+        Scheduler {
+            now,
+            queue,
+            horizon,
+            delivered,
+        }
+    }
+
     /// Delivers the next event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when the queue is empty or the next event lies beyond

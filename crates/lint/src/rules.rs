@@ -76,6 +76,7 @@ const H001_FILES: &[&str] = &[
     "crates/sim/src/simulation/shard.rs",
     "crates/sim/src/simulation/maintenance.rs",
     "crates/sim/src/simulation/population.rs",
+    "crates/sim/src/simulation/snapshot.rs",
 ];
 
 /// Iterator-producing methods on HashMap/HashSet whose order is

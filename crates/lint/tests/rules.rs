@@ -129,6 +129,13 @@ fn h001_covers_the_population_module() {
 }
 
 #[test]
+fn h001_covers_the_snapshot_module() {
+    // PR 9's checkpoint codec restores untrusted bytes: it must return
+    // `SnapshotError`s, never panic, so it inherits the panic policy.
+    check("h001.rs", "crates/sim/src/simulation/snapshot.rs");
+}
+
+#[test]
 fn h001_scoped_to_event_loop_modules() {
     let diagnostics = lint_source("crates/sim/src/peer.rs", &fixture("h001.rs"));
     assert!(

@@ -99,6 +99,34 @@ impl SampleSet {
         &self.samples
     }
 
+    /// The configured retention capacity (`usize::MAX` when unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuilds a sample set from checkpointed parts.  `seen` must be
+    /// restored exactly — the deterministic reservoir replacement is driven
+    /// by it, so future evictions depend on the full history count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or more samples are retained than the
+    /// capacity allows.
+    #[must_use]
+    pub fn from_parts(samples: Vec<f64>, capacity: usize, seen: u64) -> Self {
+        assert!(capacity > 0, "sample capacity must be positive");
+        assert!(
+            samples.len() <= capacity,
+            "retained samples exceed capacity"
+        );
+        SampleSet {
+            samples,
+            capacity,
+            seen,
+        }
+    }
+
     /// Arithmetic mean of the retained samples (0.0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {

@@ -123,6 +123,29 @@ impl OnlineStats {
         self.sample_variance().sqrt()
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max, sum)`, for
+    /// checkpointing.  The empty sentinel (`min = +inf`, `max = -inf`) is
+    /// part of the state and round-trips through
+    /// [`OnlineStats::from_raw_parts`].
+    #[must_use]
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max, self.sum)
+    }
+
+    /// Rebuilds an accumulator from the state captured by
+    /// [`OnlineStats::raw_parts`].
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, sum: f64) -> Self {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+        }
+    }
+
     /// Merges another accumulator into this one, as if all of its samples had
     /// been recorded here (Chan et al. parallel combination).
     pub fn merge(&mut self, other: &OnlineStats) {

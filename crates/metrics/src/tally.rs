@@ -46,6 +46,12 @@ impl<K: Ord> ClassTally<K> {
         self.classes.entry(key).or_default().record(value);
     }
 
+    /// Inserts a prebuilt accumulator under `key`, replacing any existing
+    /// one.  Used when restoring a tally from a checkpoint.
+    pub fn insert_stats(&mut self, key: K, stats: OnlineStats) {
+        self.classes.insert(key, stats);
+    }
+
     /// The statistics accumulated for `key`, if any observation was recorded.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<&OnlineStats> {

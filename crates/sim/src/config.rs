@@ -97,6 +97,12 @@ pub struct SimConfig {
     /// shard count — the knob trades threads for wall-clock, never accuracy
     /// (see `tests/sharded_equivalence.rs`).
     pub shards: usize,
+    /// Interval between on-disk checkpoints of the full simulation state,
+    /// in virtual seconds (`None` = no checkpointing, the default).  Resuming
+    /// from any checkpoint is **bit-identical** to the uninterrupted run,
+    /// including [`crate::RingCacheStats`] (see
+    /// [`crate::Simulation::checkpoint`] and `tests/checkpoint_equivalence.rs`).
+    pub checkpoint_every_s: Option<f64>,
     /// Virtual length of the run, in seconds.
     pub sim_duration_s: f64,
     /// Warm-up period excluded from all reported statistics, in seconds.
@@ -150,6 +156,7 @@ impl SimConfig {
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
             shards: 1,
+            checkpoint_every_s: None,
             sim_duration_s: 48.0 * 3600.0,
             warmup_s: 8.0 * 3600.0,
             storage_maintenance_interval_s: 600.0,
@@ -188,6 +195,7 @@ impl SimConfig {
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
             shards: 1,
+            checkpoint_every_s: None,
             sim_duration_s: 3_000.0,
             warmup_s: 0.0,
             storage_maintenance_interval_s: 300.0,
@@ -264,6 +272,11 @@ impl SimConfig {
         }
         if !(self.sim_duration_s.is_finite() && self.sim_duration_s > 0.0) {
             return Err("sim_duration_s must be positive".into());
+        }
+        if let Some(every) = self.checkpoint_every_s {
+            if !(every.is_finite() && every > 0.0) {
+                return Err(format!("checkpoint_every_s must be positive, got {every}"));
+            }
         }
         if !(self.warmup_s.is_finite() && self.warmup_s >= 0.0) {
             return Err("warmup_s must be non-negative".into());

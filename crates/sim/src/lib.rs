@@ -65,6 +65,7 @@ pub use behavior::{
 };
 pub use config::SimConfig;
 pub use credit::{SchedulerKind, UploadScheduler};
+pub use des::{SimDuration, SimTime};
 pub use exchange::ExchangePolicy as ExchangeDiscipline;
 pub use peer::{PeerState, WantState};
 pub use population::{
@@ -76,6 +77,6 @@ pub use scenario::{Aggregate, Axis, Scenario, ScenarioPoint, SweepGrid, SweepRow
 pub use simulation::audit;
 pub use simulation::{
     CacheGranularity, CachedEntry, PhaseProfile, RingCacheStats, RingCandidateCache, SimSetup,
-    Simulation,
+    Simulation, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use types::{PeerClass, SessionEnd, SessionKind};

@@ -8,6 +8,9 @@
 //!
 //! Every figure of the paper is one such scenario (see [`crate::experiment`]).
 
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -247,6 +250,26 @@ pub struct Scenario {
     threads: Option<usize>,
     thread_budget: Option<usize>,
     warm_restarts: bool,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+/// Shared JSON-lines sink state for [`Scenario::run_streamed`]: workers
+/// append completed rows under the mutex; the first I/O error sticks and
+/// disables further writes.
+struct RowStream<'a> {
+    sink: &'a mut (dyn Write + Send),
+    error: Option<io::Error>,
+}
+
+/// Writes one complete snapshot of `sim` to `path` atomically: the bytes go
+/// to `tmp` first and are renamed into place only once fully written, so a
+/// run killed mid-checkpoint always leaves the previous complete checkpoint
+/// (or nothing) at `path`, never a truncated one.
+fn write_checkpoint_file(sim: &Simulation, tmp: &Path, path: &Path) -> io::Result<()> {
+    let mut file = fs::File::create(tmp)?;
+    sim.checkpoint(&mut file).map_err(io::Error::other)?;
+    drop(file);
+    fs::rename(tmp, path)
 }
 
 impl Scenario {
@@ -262,6 +285,7 @@ impl Scenario {
             threads: None,
             thread_budget: None,
             warm_restarts: false,
+            checkpoint_dir: None,
         }
     }
 
@@ -392,6 +416,21 @@ impl Scenario {
         self
     }
 
+    /// Directory where runs drop periodic on-disk checkpoints.
+    ///
+    /// Effective only for grid points whose resolved config sets
+    /// [`SimConfig::checkpoint_every_s`]; such runs then write their latest
+    /// snapshot to `point<P>-seed<S>.ckpt` in `dir` every interval
+    /// (atomically, via a temp file and rename, so a run killed mid-write
+    /// always leaves the previous complete checkpoint behind).  A checkpoint
+    /// can be resumed with [`Simulation::restore`].  Without this knob,
+    /// `checkpoint_every_s` is ignored by scenarios.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// The resolved grid points, in run order, without running anything.
     ///
     /// # Panics
@@ -463,6 +502,40 @@ impl Scenario {
     /// configuration is invalid.
     #[must_use]
     pub fn run(self) -> SweepGrid {
+        self.run_inner(None)
+    }
+
+    /// Like [`run`](Self::run), but additionally streams every completed
+    /// `(point, seed)` row to `sink` as one JSON object per line
+    /// (JSON-lines), in **completion order**, flushing after each line.
+    ///
+    /// Each line has exactly the shape of one element of
+    /// [`SweepGrid::write_json`]'s `rows` array, so a consumer of the full
+    /// document can consume the stream with the same row parser — and a
+    /// sweep killed partway leaves a parsable prefix of completed rows
+    /// (`bench_gate --stream` consumes such partial streams).  The returned
+    /// grid is bit-identical to [`run`](Self::run)'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink I/O error; the sweep itself still runs to
+    /// completion (streaming stops at the first error).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run`](Self::run) on an empty axis/seed list or an
+    /// invalid resolved configuration.
+    pub fn run_streamed(self, sink: &mut (dyn Write + Send)) -> io::Result<SweepGrid> {
+        let stream = Mutex::new(RowStream { sink, error: None });
+        let grid = self.run_inner(Some(&stream));
+        let stream = stream.into_inner().expect("stream sink poisoned");
+        match stream.error {
+            Some(e) => Err(e),
+            None => Ok(grid),
+        }
+    }
+
+    fn run_inner(self, stream: Option<&Mutex<RowStream<'_>>>) -> SweepGrid {
         assert!(!self.seeds.is_empty(), "a scenario needs at least one seed");
         let points = self.points();
         let jobs: Vec<(usize, u64)> = points
@@ -489,13 +562,44 @@ impl Scenario {
                         break;
                     };
                     let config = points[point_index].config.clone();
+                    let checkpoints = config
+                        .checkpoint_every_s
+                        .zip(self.checkpoint_dir.as_deref());
+                    let run = |sim: Simulation| match checkpoints {
+                        Some((every, dir)) => {
+                            let path = dir.join(format!("point{point_index}-seed{seed}.ckpt"));
+                            let tmp = dir.join(format!("point{point_index}-seed{seed}.ckpt.tmp"));
+                            sim.run_checkpointed(every, |at, sim| {
+                                write_checkpoint_file(sim, &tmp, &path).unwrap_or_else(|e| {
+                                    panic!(
+                                        "failed to write checkpoint at t={at} to {}: {e}",
+                                        path.display()
+                                    )
+                                });
+                            })
+                        }
+                        None => sim.run(),
+                    };
                     let report = if self.warm_restarts {
                         let setup = setups[point_index]
                             .get_or_init(|| SimSetup::generate(&config, setup_seed));
-                        Simulation::from_setup(config, setup, seed).run()
+                        run(Simulation::from_setup(config, setup, seed))
                     } else {
-                        Simulation::new(config, seed).run()
+                        run(Simulation::new(config, seed))
                     };
+                    if let Some(stream) = stream {
+                        let mut guard = stream.lock().expect("stream sink poisoned");
+                        let RowStream { sink, error } = &mut *guard;
+                        if error.is_none() {
+                            let written =
+                                crate::serialize::write_row_json(sink, point_index, seed, &report)
+                                    .and_then(|()| writeln!(sink))
+                                    .and_then(|()| sink.flush());
+                            if let Err(e) = written {
+                                *error = Some(e);
+                            }
+                        }
+                    }
                     *results[job].lock().expect("result slot poisoned") = Some(report);
                 });
             }
@@ -806,6 +910,97 @@ mod tests {
                     != warm_rows[1].report.completed_downloads(),
             "distinct seeds must still differ under a shared setup"
         );
+    }
+
+    /// Renders one report exactly as a streamed JSONL row would, so tests
+    /// can compare full metric surfaces byte-for-byte.
+    fn row_json(point: usize, seed: u64, report: &SimReport) -> String {
+        let mut buffer = Vec::new();
+        crate::serialize::write_row_json(&mut buffer, point, seed, report)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buffer).expect("row JSON is UTF-8")
+    }
+
+    #[test]
+    fn streamed_sweeps_emit_every_row_and_match_plain_runs() {
+        let build = || {
+            Scenario::from(tiny_base())
+                .vary(Axis::UploadKbps(vec![60.0, 100.0]))
+                .seeds(0..2)
+        };
+        let plain = build().run();
+        let mut sink = Vec::new();
+        let streamed = build()
+            .run_streamed(&mut sink)
+            .expect("Vec sink never fails");
+
+        // The returned grid is bit-identical to the unstreamed one.
+        assert_eq!(plain.rows().len(), streamed.rows().len());
+        for (a, b) in plain.rows().iter().zip(streamed.rows().iter()) {
+            assert_eq!((a.point, a.seed), (b.point, b.seed));
+            assert_eq!(
+                row_json(a.point, a.seed, &a.report),
+                row_json(b.point, b.seed, &b.report)
+            );
+        }
+
+        // One line per row, in completion order; same rows as the grid.
+        let text = String::from_utf8(sink).expect("stream is UTF-8");
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), plain.rows().len());
+        let mut expected: Vec<String> = plain
+            .rows()
+            .iter()
+            .map(|r| row_json(r.point, r.seed, &r.report))
+            .collect();
+        lines.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(lines, expected);
+    }
+
+    #[test]
+    fn streamed_sweeps_surface_sink_errors_but_still_complete() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "sink closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = FailingSink;
+        let err = Scenario::from(tiny_base())
+            .seeds(0..2)
+            .run_streamed(&mut sink)
+            .expect_err("a failing sink must surface its error");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn scenario_checkpoints_are_resumable_to_the_same_report() {
+        let dir = std::env::temp_dir().join(format!("xchg-scenario-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp checkpoint dir");
+
+        let mut config = tiny_base();
+        config.checkpoint_every_s = Some(250.0);
+        let grid = Scenario::from(config.clone())
+            .seeds([3])
+            .checkpoint_dir(&dir)
+            .run();
+        let full = &grid.rows()[0].report;
+
+        // The latest checkpoint survives on disk (no stray temp file) and
+        // resuming it replays the remainder into the identical report.
+        let path = dir.join("point0-seed3.ckpt");
+        let bytes = fs::read(&path).expect("checkpoint written");
+        assert!(!dir.join("point0-seed3.ckpt.tmp").exists());
+        let resumed = Simulation::restore(&mut &bytes[..], &config)
+            .expect("scenario checkpoints restore")
+            .run();
+        assert_eq!(row_json(0, 3, full), row_json(0, 3, &resumed));
+
+        fs::remove_dir_all(&dir).expect("temp checkpoint dir cleanup");
     }
 
     #[test]

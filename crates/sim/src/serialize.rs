@@ -107,6 +107,80 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Writes one `(point, seed, report)` result as a single JSON object —
+/// exactly the shape of one element of [`SweepGrid::write_json`]'s `rows`
+/// array.  This is the unit of the JSONL streaming mode
+/// ([`crate::Scenario::run_streamed`]): one such object per line, emitted as
+/// each run completes, so a killed sweep leaves a parsable prefix.
+pub(crate) fn write_row_json<W: Write>(
+    writer: &mut W,
+    point: usize,
+    seed: u64,
+    report: &SimReport,
+) -> io::Result<()> {
+    let metrics = scalar_metrics();
+    write!(writer, "{{\"point\":{point},\"seed\":{seed},\"metrics\":{{")?;
+    for (j, (name, metric)) in metrics.iter().enumerate() {
+        if j > 0 {
+            write!(writer, ",")?;
+        }
+        let value = metric(report).map_or("null".to_string(), fmt_f64);
+        write!(writer, "\"{name}\":{value}")?;
+    }
+    write!(writer, "}},\"behaviors\":{{")?;
+    for (j, (kind, stats)) in report.behavior_breakdown().iter().enumerate() {
+        if j > 0 {
+            write!(writer, ",")?;
+        }
+        write!(
+            writer,
+            "\"{}\":{{\"peers\":{},\"uploaded_bytes\":{},\"downloaded_bytes\":{},\
+             \"usable_bytes\":{},\"junk_bytes\":{},\"ciphertext_bytes\":{},\
+             \"completed_downloads\":{},\"ciphertext_downloads\":{},\
+             \"cheat_detections\":{},\"mean_download_time_min\":{}}}",
+            json_escape(kind.label()),
+            stats.peers,
+            stats.uploaded_bytes,
+            stats.downloaded_bytes,
+            stats.usable_bytes(),
+            stats.junk_bytes,
+            stats.ciphertext_bytes,
+            stats.completed_downloads,
+            stats.ciphertext_downloads,
+            stats.cheat_detections,
+            stats
+                .mean_download_time_min()
+                .map_or("null".to_string(), fmt_f64),
+        )?;
+    }
+    write!(writer, "}},\"capacity\":{{")?;
+    for (j, class) in report.observed_capacity_classes().iter().enumerate() {
+        if j > 0 {
+            write!(writer, ",")?;
+        }
+        write!(writer, "\"{}\":{{", json_escape(class.label()))?;
+        write!(
+            writer,
+            "\"mean_download_time_min\":{}",
+            report
+                .mean_download_time_by_capacity(*class)
+                .map_or("null".to_string(), fmt_f64)
+        )?;
+        for (quantile, p) in CLASS_QUANTILES {
+            write!(
+                writer,
+                ",\"download_min_{quantile}\":{}",
+                report
+                    .capacity_download_percentile(*class, p)
+                    .map_or("null".to_string(), fmt_f64)
+            )?;
+        }
+        write!(writer, "}}")?;
+    }
+    write!(writer, "}}}}")?;
+    Ok(())
+}
+
 impl SweepGrid {
     /// Writes the grid as CSV: one row per `(point, seed)` run, with the
     /// point label, every axis value, the headline metrics, and per-behavior
@@ -191,7 +265,6 @@ impl SweepGrid {
     ///
     /// Propagates any I/O error of `writer`.
     pub fn write_json<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        let metrics = scalar_metrics();
         write!(writer, "{{\"seeds\":[")?;
         for (i, seed) in self.seeds().iter().enumerate() {
             if i > 0 {
@@ -228,69 +301,7 @@ impl SweepGrid {
             if i > 0 {
                 write!(writer, ",")?;
             }
-            write!(
-                writer,
-                "{{\"point\":{},\"seed\":{},\"metrics\":{{",
-                row.point, row.seed
-            )?;
-            for (j, (name, metric)) in metrics.iter().enumerate() {
-                if j > 0 {
-                    write!(writer, ",")?;
-                }
-                let value = metric(&row.report).map_or("null".to_string(), fmt_f64);
-                write!(writer, "\"{name}\":{value}")?;
-            }
-            write!(writer, "}},\"behaviors\":{{")?;
-            for (j, (kind, stats)) in row.report.behavior_breakdown().iter().enumerate() {
-                if j > 0 {
-                    write!(writer, ",")?;
-                }
-                write!(
-                    writer,
-                    "\"{}\":{{\"peers\":{},\"uploaded_bytes\":{},\"downloaded_bytes\":{},\
-                     \"usable_bytes\":{},\"junk_bytes\":{},\"ciphertext_bytes\":{},\
-                     \"completed_downloads\":{},\"ciphertext_downloads\":{},\
-                     \"cheat_detections\":{},\"mean_download_time_min\":{}}}",
-                    json_escape(kind.label()),
-                    stats.peers,
-                    stats.uploaded_bytes,
-                    stats.downloaded_bytes,
-                    stats.usable_bytes(),
-                    stats.junk_bytes,
-                    stats.ciphertext_bytes,
-                    stats.completed_downloads,
-                    stats.ciphertext_downloads,
-                    stats.cheat_detections,
-                    stats
-                        .mean_download_time_min()
-                        .map_or("null".to_string(), fmt_f64),
-                )?;
-            }
-            write!(writer, "}},\"capacity\":{{")?;
-            for (j, class) in row.report.observed_capacity_classes().iter().enumerate() {
-                if j > 0 {
-                    write!(writer, ",")?;
-                }
-                write!(writer, "\"{}\":{{", json_escape(class.label()))?;
-                write!(
-                    writer,
-                    "\"mean_download_time_min\":{}",
-                    row.report
-                        .mean_download_time_by_capacity(*class)
-                        .map_or("null".to_string(), fmt_f64)
-                )?;
-                for (quantile, p) in CLASS_QUANTILES {
-                    write!(
-                        writer,
-                        ",\"download_min_{quantile}\":{}",
-                        row.report
-                            .capacity_download_percentile(*class, p)
-                            .map_or("null".to_string(), fmt_f64)
-                    )?;
-                }
-                write!(writer, "}}")?;
-            }
-            write!(writer, "}}}}")?;
+            write_row_json(writer, row.point, row.seed, &row.report)?;
         }
         write!(writer, "]}}")?;
         Ok(())

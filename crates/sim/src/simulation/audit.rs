@@ -23,8 +23,18 @@
 //! The checks are deliberately exhaustive and therefore expensive (the cache
 //! check re-runs every cached search per event); the feature exists for
 //! tests, not production runs.
+//!
+//! **Time travel.**  Before dispatching each event, [`Simulation::run_audited`]
+//! serializes the complete pre-event state into a reusable buffer (the event
+//! still queued).  When an invariant trips, that buffer is dumped to disk —
+//! [`Simulation::audit_checkpoint_path`], else `AUDIT_CHECKPOINT_PATH`, else
+//! `audit_failure.ckpt` in the temp dir — and the panic message names the
+//! file.  [`Simulation::restore`]-ing the dump and calling `run_audited`
+//! again replays the identical failing event first, reproducing the failure
+//! in isolation.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use exchange::RingSearch;
 use workload::PeerId;
@@ -42,12 +52,24 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics with a description of the first violated invariant.
+    /// Panics with a description of the first violated invariant, after
+    /// dumping the pre-event checkpoint (see the module docs).
     #[must_use]
     pub fn run_audited(mut self) -> SimReport {
         self.audit()
             .unwrap_or_else(|e| panic!("invariant violated before the first event: {e}"));
-        while let Some(event) = self.engine.next() {
+        // Reused across events: the complete pre-event state, captured while
+        // the event is still queued so a restore replays it first.
+        let mut pre_event: Vec<u8> = Vec::new();
+        loop {
+            pre_event.clear();
+            if self.engine.peek().is_some() {
+                self.checkpoint(&mut pre_event)
+                    .expect("serializing into a Vec cannot fail");
+            }
+            let Some(event) = self.engine.next() else {
+                break;
+            };
             match event {
                 // The sharded engine batches same-timestamp TrySchedule runs;
                 // audit each merged event application individually, so a
@@ -58,30 +80,76 @@ impl Simulation {
                     for &provider in &batch {
                         let planned = plan.as_mut().and_then(|p| p.provider_mut(provider));
                         self.handle_try_schedule_planned(provider, planned);
-                        self.audit_after(Event::TrySchedule(provider));
+                        self.audit_after(Event::TrySchedule(provider), &pre_event);
                     }
                     continue;
                 }
                 other => self.dispatch(other),
             }
-            self.audit_after(event);
+            self.audit_after(event, &pre_event);
         }
         let report = self.finalize();
         check_report(&report).unwrap_or_else(|e| panic!("report accounting violated: {e}"));
         report
     }
 
+    /// Arms the test-only fault hook: once the engine has delivered
+    /// `delivered` events, [`run_audited`](Self::run_audited) deliberately
+    /// corrupts one byte-conservation tally so the next audit trips.  Used
+    /// by the time-travel tests to produce a failure at a known event; the
+    /// hook is not serialized, so replaying a restored checkpoint requires
+    /// re-arming it with the same value.
+    pub fn inject_audit_fault_at(&mut self, delivered: u64) {
+        self.audit_fault_at = Some(delivered);
+    }
+
+    /// Overrides where [`run_audited`](Self::run_audited) dumps the
+    /// pre-failure checkpoint (default: `AUDIT_CHECKPOINT_PATH`, else
+    /// `audit_failure.ckpt` in the temp dir).
+    pub fn audit_checkpoint_path(&mut self, path: impl Into<PathBuf>) {
+        self.audit_dump_path = Some(path.into());
+    }
+
     /// Drains pending graph deltas (exactly what the next cached lookup
     /// would do, so the audited run stays identical to an unaudited one) and
-    /// re-checks every invariant, panicking with the offending `event`.
-    fn audit_after(&mut self, event: Event) {
+    /// re-checks every invariant; on a violation, dumps the pre-event
+    /// checkpoint and panics naming the offending `event` and the dump.
+    fn audit_after(&mut self, event: Event, pre_event: &[u8]) {
         self.drain_graph_deltas();
-        self.audit().unwrap_or_else(|e| {
+        if self.audit_fault_at == Some(self.engine.delivered()) {
+            // Deliberate, detectable corruption: one phantom uploaded byte
+            // breaks byte conservation without touching control flow.
+            self.peers[0].uploaded_bytes += 1;
+        }
+        if let Err(e) = self.audit() {
+            let dump = self.dump_pre_event_checkpoint(pre_event);
             panic!(
-                "invariant violated after {event:?} at t={:.1}s: {e}",
+                "invariant violated after {event:?} at t={:.1}s: {e}{dump}",
                 self.engine.now().as_secs_f64()
             )
+        }
+    }
+
+    /// Writes the pre-event snapshot next to the failure and describes the
+    /// outcome for the panic message (a dump failure must not mask the
+    /// audit failure itself).
+    fn dump_pre_event_checkpoint(&self, pre_event: &[u8]) -> String {
+        if pre_event.is_empty() {
+            return String::new();
+        }
+        let path = self.audit_dump_path.clone().unwrap_or_else(|| {
+            std::env::var_os("AUDIT_CHECKPOINT_PATH").map_or_else(
+                || std::env::temp_dir().join("audit_failure.ckpt"),
+                Into::into,
+            )
         });
+        match std::fs::write(&path, pre_event) {
+            Ok(()) => format!("; pre-failure checkpoint written to {}", path.display()),
+            Err(e) => format!(
+                "; FAILED to write pre-failure checkpoint to {}: {e}",
+                path.display()
+            ),
+        }
     }
 
     /// Checks every between-events invariant once.

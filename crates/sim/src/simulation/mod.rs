@@ -20,16 +20,18 @@ mod population;
 mod ring_cache;
 mod scheduling;
 mod shard;
+mod snapshot;
 mod transfers;
 
 pub use ring_cache::{CacheGranularity, CachedEntry, RingCacheStats, RingCandidateCache};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use credit::UploadScheduler;
-use des::{DetRng, Scheduler, SimTime};
+use des::{DetRng, Scheduler, SimDuration, SimTime};
 use exchange::{RequestGraph, SearchScratch};
 use netsim::SlotPool;
 use workload::{Catalog, ObjectId, PeerId, PeerInterests, RequestGenerator, Storage};
@@ -193,6 +195,14 @@ pub struct PhaseProfile {
 #[derive(Debug)]
 pub struct Simulation {
     config: SimConfig,
+    /// The seed the run's [`SimSetup`] was generated with.  Checkpoints
+    /// store this instead of the setup itself: [`SimSetup::generate`] is
+    /// pure, so restore regenerates the catalog and pristine peers and then
+    /// overwrites only what the run mutated (see [`snapshot`]).
+    setup_seed: u64,
+    /// How many objects the setup catalog held before any flash-crowd
+    /// release; the checkpoint serializes only the released delta.
+    setup_objects: usize,
     catalog: Catalog,
     peers: Vec<PeerState>,
     /// One strategic behavior per peer, built from
@@ -269,6 +279,18 @@ pub struct Simulation {
     /// Set by [`run_profiled`](Self::run_profiled): fresh ring searches time
     /// themselves into `ring_search_nanos`.
     profile_searches: bool,
+    /// Test-only fault injection for the time-travel audit tests: when the
+    /// engine's delivered-event count reaches this value,
+    /// [`audit::run_audited`](Self::run_audited) corrupts one accounting
+    /// tally so the audit trips deterministically.  Never serialized —
+    /// callers re-arm it after [`Self::restore`] to replay the failure.
+    #[cfg(feature = "audit")]
+    audit_fault_at: Option<u64>,
+    /// Explicit destination for the pre-failure checkpoint
+    /// [`audit::run_audited`](Self::run_audited) dumps; falls back to
+    /// `AUDIT_CHECKPOINT_PATH` or a temp-dir default.
+    #[cfg(feature = "audit")]
+    audit_dump_path: Option<std::path::PathBuf>,
     /// Nanoseconds spent in fresh ring searches (profiled runs only).
     ring_search_nanos: Cell<u64>,
     /// Number of fresh ring searches run (profiled runs only).
@@ -360,6 +382,8 @@ impl Simulation {
         }
         let config_maintenance_interval = config.storage_maintenance_interval_s;
         Simulation {
+            setup_seed: setup.seed(),
+            setup_objects: catalog.num_objects(),
             request_gen: RequestGenerator::new(&config.workload),
             rng_requests: root_rng.stream("requests"),
             rng_lookup: root_rng.stream("lookup"),
@@ -393,6 +417,10 @@ impl Simulation {
             generate_queued: vec![0; num_peers],
             shard_scratches: Vec::new(),
             profile_searches: false,
+            #[cfg(feature = "audit")]
+            audit_fault_at: None,
+            #[cfg(feature = "audit")]
+            audit_dump_path: None,
             ring_search_nanos: Cell::new(0),
             ring_searches: Cell::new(0),
         }
@@ -436,13 +464,95 @@ impl Simulation {
     #[must_use]
     pub fn run(mut self) -> SimReport {
         if self.config.shards > 1 {
-            self.run_event_loop_sharded(None);
+            self.run_event_loop_sharded(None, None);
         } else {
             while let Some(event) = self.engine.next() {
                 self.dispatch(event);
             }
         }
         self.finalize()
+    }
+
+    /// Processes every event with a timestamp `<= until`, then stops with
+    /// the simulation still live (the clock rests on the last processed
+    /// event).  Running to `T` in one go and running to `T/2` then `T` are
+    /// bit-identical — this is the stepping primitive behind
+    /// [`run_checkpointed`](Self::run_checkpointed).
+    pub fn run_until(&mut self, until: SimTime) {
+        if self.config.shards > 1 {
+            self.run_event_loop_sharded(None, Some(until));
+        } else {
+            while matches!(self.engine.peek(), Some((t, _)) if t <= until) {
+                let Some(event) = self.engine.next() else {
+                    break;
+                };
+                self.dispatch(event);
+            }
+        }
+    }
+
+    /// Processes exactly the next event and returns its timestamp, or
+    /// `None` once the horizon is reached (the simulation is then ready to
+    /// [`run`](Self::run) straight to finalisation).  Stepping through a
+    /// whole run event by event is bit-identical to [`run`](Self::run) —
+    /// tests use this to checkpoint/restore at every event boundary.
+    ///
+    /// Under sharding a same-timestamp `TrySchedule` batch is one step, the
+    /// same merged unit the sharded run loop applies atomically.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let event = self.engine.next()?;
+        let time = self.engine.now();
+        if self.config.shards > 1 {
+            if let Event::TrySchedule(first) = event {
+                let batch = self.collect_try_schedule_batch(first);
+                let mut plan = self.plan_batch(&batch);
+                for &provider in &batch {
+                    let planned = plan.as_mut().and_then(|p| p.provider_mut(provider));
+                    self.handle_try_schedule_planned(provider, planned);
+                }
+                return Some(time);
+            }
+        }
+        self.dispatch(event);
+        Some(time)
+    }
+
+    /// Runs to the horizon like [`run`](Self::run), invoking `on_checkpoint`
+    /// with `(checkpoint time, &self)` at every multiple of `every_s` virtual
+    /// seconds strictly before the horizon.  The callback typically calls
+    /// [`checkpoint`](Self::checkpoint) into a file; the report is
+    /// bit-identical to an uninterrupted [`run`](Self::run).
+    ///
+    /// Checkpoint times are derived by integer multiplication of the
+    /// microsecond-rounded interval, so long runs never accumulate float
+    /// drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_s` is not positive and finite (callers validate via
+    /// [`SimConfig::checkpoint_every_s`]).
+    #[must_use]
+    pub fn run_checkpointed<F>(mut self, every_s: f64, mut on_checkpoint: F) -> SimReport
+    where
+        F: FnMut(SimTime, &Simulation),
+    {
+        assert!(
+            every_s.is_finite() && every_s > 0.0,
+            "checkpoint interval must be positive and finite"
+        );
+        let step = SimDuration::from_secs_f64(every_s).as_micros().max(1);
+        let horizon = SimTime::from_secs_f64(self.config.sim_duration_s);
+        let mut k: u64 = 1;
+        loop {
+            let target = SimTime::from_micros(step.saturating_mul(k));
+            if target >= horizon {
+                break;
+            }
+            self.run_until(target);
+            on_checkpoint(target, &self);
+            k += 1;
+        }
+        self.run()
     }
 
     /// Handles one event (the shared body of every run loop).
@@ -513,7 +623,7 @@ impl Simulation {
         self.profile_searches = true;
         let mut profile = PhaseProfile::default();
         if self.config.shards > 1 {
-            self.run_event_loop_sharded(Some(&mut profile));
+            self.run_event_loop_sharded(Some(&mut profile), None);
         } else {
             // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
             let loop_start = Instant::now();

@@ -457,6 +457,14 @@ impl RingCandidateCache {
         self.stats
     }
 
+    /// Overwrites the hit/miss/invalidation counters.  Checkpoint restore
+    /// replays [`store`](Self::store) calls (which never touch the counters)
+    /// and then reinstates the counters captured at checkpoint time, so a
+    /// resumed run's stats stay bit-identical to an uninterrupted one.
+    pub(crate) fn set_stats(&mut self, stats: RingCacheStats) {
+        self.stats = stats;
+    }
+
     /// Drops all entries (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();

@@ -390,10 +390,27 @@ impl Simulation {
     /// The sharded main loop: event semantics identical to the sequential
     /// loop, with same-timestamp `TrySchedule` runs planned in parallel and
     /// merged in queue order.
-    pub(super) fn run_event_loop_sharded(&mut self, mut profile: Option<&mut PhaseProfile>) {
+    ///
+    /// With `until` set, stops before the first event past that time (the
+    /// checkpoint stepping bound, see [`Simulation::run_until`]).  A batch
+    /// shares one timestamp, so the bound never splits a batch.
+    pub(super) fn run_event_loop_sharded(
+        &mut self,
+        mut profile: Option<&mut PhaseProfile>,
+        until: Option<SimTime>,
+    ) {
         // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
         let loop_start = Instant::now();
-        while let Some(event) = self.engine.next() {
+        loop {
+            if let Some(until) = until {
+                match self.engine.peek() {
+                    Some((t, _)) if t <= until => {}
+                    _ => break,
+                }
+            }
+            let Some(event) = self.engine.next() else {
+                break;
+            };
             match event {
                 Event::TrySchedule(first) => {
                     let batch = self.collect_try_schedule_batch(first);

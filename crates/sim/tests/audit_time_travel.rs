@@ -1,0 +1,97 @@
+//! Time-travel debugging of audit failures (ISSUE 9; feature `audit`).
+//!
+//! A deliberate invariant violation is injected behind the test-only
+//! [`Simulation::inject_audit_fault_at`] hook.  `run_audited` must dump the
+//! checkpoint taken just before the failing event and name it in the panic;
+//! restoring that dump and re-arming the same fault must reproduce the
+//! identical audit failure at the identical event — the whole point of the
+//! dump is replaying a nightly's crash in isolation.
+#![cfg(feature = "audit")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sim::{SimConfig, Simulation};
+
+/// The event index the fault trips at: late enough that real state (rings,
+/// transfers, cache entries) exists, comfortably inside the ~280 events the
+/// pinned config delivers.
+const FAULT_AT: u64 = 150;
+
+fn config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 12;
+    config.sim_duration_s = 900.0;
+    config
+}
+
+/// Runs an audited simulation to its injected failure and returns the
+/// panic message.
+fn audited_failure(mut simulation: Simulation, dump: &std::path::Path) -> String {
+    simulation.inject_audit_fault_at(FAULT_AT);
+    simulation.audit_checkpoint_path(dump);
+    let panic = catch_unwind(AssertUnwindSafe(move || {
+        let _ = simulation.run_audited();
+    }))
+    .expect_err("the injected fault must trip the audit");
+    panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| panic!("audit panic payload is not a String"))
+}
+
+/// The part of the message identifying the failure — event, time and
+/// invariant — without the dump-path suffix (each run dumps elsewhere).
+fn failure_identity(message: &str) -> &str {
+    message
+        .split("; pre-failure checkpoint written to")
+        .next()
+        .expect("split always yields a first element")
+}
+
+#[test]
+fn audit_failures_dump_a_replayable_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("xchg-time-travel-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dump dir");
+    let first_dump = dir.join("first.ckpt");
+    let replay_dump = dir.join("replay.ckpt");
+
+    // Original failing run: panic names the dump, and the dump exists.
+    let message = audited_failure(Simulation::new(config(), 5), &first_dump);
+    assert!(
+        message.contains("invariant violated after"),
+        "unexpected audit panic: {message}"
+    );
+    assert!(
+        message.contains(&format!(
+            "pre-failure checkpoint written to {}",
+            first_dump.display()
+        )),
+        "panic must name the dump: {message}"
+    );
+    let bytes = std::fs::read(&first_dump).expect("pre-failure checkpoint written");
+
+    // Time travel: restore the dump, re-arm the same fault, and the very
+    // same failure reproduces at the very same event.
+    let restored =
+        Simulation::restore(&mut &bytes[..], &config()).expect("pre-failure checkpoints restore");
+    let replayed = audited_failure(restored, &replay_dump);
+    assert_eq!(
+        failure_identity(&message),
+        failure_identity(&replayed),
+        "replay must fail at the same event with the same invariant"
+    );
+
+    // The replay's own pre-failure dump equals the original: the failing
+    // event was the first thing the restored run processed.
+    let replay_bytes = std::fs::read(&replay_dump).expect("replay dumps too");
+    assert_eq!(bytes, replay_bytes, "replay dump must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).expect("temp dump dir cleanup");
+}
+
+#[test]
+fn clean_audited_runs_match_unaudited_runs() {
+    let straight = Simulation::new(config(), 6).run();
+    let audited = Simulation::new(config(), 6).run_audited();
+    assert_eq!(straight, audited);
+}

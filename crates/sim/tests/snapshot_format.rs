@@ -1,0 +1,143 @@
+//! Snapshot wire-format hardening (ISSUE 9).
+//!
+//! A checked-in golden snapshot pins the version-1 byte layout: any change
+//! to the format — section order, integer widths, new state — fails
+//! `golden_snapshot_bytes_are_stable` until the author consciously bumps
+//! `SNAPSHOT_VERSION` and regenerates the fixture with
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p sim --test snapshot_format
+//! ```
+//!
+//! The remaining tests pin the error contract: truncated bytes, wrong
+//! magic, and future format versions must return [`SnapshotError`]s, never
+//! panic, and the golden fixture must restore into a simulation that
+//! finishes with the exact same report as a fresh run.
+
+use std::path::PathBuf;
+
+use sim::{SimConfig, SimTime, Simulation, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+
+/// The fixed scenario the golden fixture freezes.  Every knob is pinned
+/// explicitly so drifting `quick_test` defaults do not silently change the
+/// fixture's meaning.
+fn golden_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 12;
+    config.sim_duration_s = 600.0;
+    config.warmup_s = 150.0;
+    config.shards = 1;
+    config
+}
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_CHECKPOINT_S: f64 = 240.0;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quick_test_v1.snap")
+}
+
+/// The fixture's bytes, regenerated in-process.
+fn golden_bytes() -> Vec<u8> {
+    let mut simulation = Simulation::new(golden_config(), GOLDEN_SEED);
+    simulation.run_until(SimTime::from_secs_f64(GOLDEN_CHECKPOINT_S));
+    let mut bytes = Vec::new();
+    simulation
+        .checkpoint(&mut bytes)
+        .expect("serializing into a Vec cannot fail");
+    bytes
+}
+
+#[test]
+fn golden_snapshot_bytes_are_stable() {
+    let fresh = golden_bytes();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &fresh).expect("write golden fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let checked_in = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden fixture {} ({e}); regenerate with UPDATE_SNAPSHOTS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        checked_in.len(),
+        fresh.len(),
+        "snapshot byte length changed — bump SNAPSHOT_VERSION and regenerate \
+         the fixture with UPDATE_SNAPSHOTS=1"
+    );
+    assert!(
+        checked_in == fresh,
+        "snapshot byte layout changed — bump SNAPSHOT_VERSION and regenerate \
+         the fixture with UPDATE_SNAPSHOTS=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_restores_and_finishes_identically() {
+    let config = golden_config();
+    let straight = Simulation::new(config.clone(), GOLDEN_SEED).run();
+    let bytes = std::fs::read(golden_path()).expect("golden fixture is checked in");
+    let resumed = Simulation::restore(&mut &bytes[..], &config)
+        .expect("golden fixture restores")
+        .run();
+    assert_eq!(straight.ring_cache_stats(), resumed.ring_cache_stats());
+    assert_eq!(straight, resumed);
+}
+
+#[test]
+fn restore_then_checkpoint_is_byte_identical() {
+    let config = golden_config();
+    let bytes = golden_bytes();
+    let restored = Simulation::restore(&mut &bytes[..], &config).expect("snapshot restores");
+    let mut again = Vec::new();
+    restored
+        .checkpoint(&mut again)
+        .expect("serializing into a Vec cannot fail");
+    assert!(bytes == again, "restore → checkpoint must round-trip bytes");
+}
+
+#[test]
+fn truncated_snapshots_error_gracefully() {
+    let config = golden_config();
+    let bytes = golden_bytes();
+    // Every prefix length that cuts a header or section boundary class.
+    for cut in [0, 1, 7, 8, 11, 12, 19, 20, bytes.len() / 2, bytes.len() - 1] {
+        let err = Simulation::restore(&mut &bytes[..cut], &config)
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {cut} bytes must not restore"));
+        // Any SnapshotError is acceptable; panicking is not.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn wrong_magic_errors_gracefully() {
+    let config = golden_config();
+    let mut bytes = golden_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        Simulation::restore(&mut &bytes[..], &config),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_versions_error_gracefully() {
+    let config = golden_config();
+    let mut bytes = golden_bytes();
+    let future = (SNAPSHOT_VERSION + 1).to_le_bytes();
+    bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4].copy_from_slice(&future);
+    match Simulation::restore(&mut &bytes[..], &config) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
