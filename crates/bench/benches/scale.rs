@@ -32,6 +32,8 @@
 //! cargo bench --bench scale -- --tier 10k --seeds 1 --shards 8
 //! cargo bench --bench scale -- --tier churn-10k --shards 8
 //! cargo bench --bench scale -- --tier 100k --shards 8    # always 1 seed
+//! cargo bench --bench scale -- --tier multicore --shards 8 \
+//!     --out BENCH_scale_multicore.json                   # nightly speedup job
 //! ```
 //!
 //! (`full` is the 1k/5k/10k subset; `all` adds the churn-10k and 100k
@@ -59,7 +61,9 @@
 //! snapshot under the identical tier flags, runs to the horizon, and prints
 //! the **same** fingerprint JSON: a killed-then-resumed run must produce
 //! output byte-identical to an uninterrupted one (the CI smoke asserts
-//! exactly this with `diff`).
+//! exactly this with `diff`).  The two flags combine — a resumed run keeps
+//! writing fresh checkpoints past the restored time, which is how the
+//! preemption-resilient nightly 100k job survives repeated runner evictions.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -344,7 +348,20 @@ fn run_tier(
             "tier {label}: the sharded report diverged from the sequential \
              engine on the shared seed — the deterministic merge is broken"
         );
-        eprintln!("   sharded report bit-identical to sequential: ok");
+        // Consumed-only accounting: the sharded engine charges only the
+        // planned searches the merge actually consumed (plus inline
+        // fallbacks), so its search count must equal the sequential
+        // engine's exactly — speculation lives in `planning_breakdown`.
+        assert_eq!(
+            sharded.runs[0].profile.ring_searches, entry.profile.ring_searches,
+            "tier {label}: sharded ring_searches diverged from sequential — \
+             speculative shard work is leaking into the search accounting"
+        );
+        eprintln!(
+            "   sharded report bit-identical to sequential: ok \
+             ({} searches planned, {} consumed)",
+            sharded.runs[0].profile.planned_searches, sharded.runs[0].profile.planned_consumed
+        );
     }
 
     if let Some(speedup) = tier.speedup() {
@@ -378,9 +395,13 @@ fn fingerprint_json(label: &str, config: &SimConfig, seed: u64, report: &SimRepo
 }
 
 /// Checkpoint/resume mode: one entry-granularity run of the selected tier
-/// on the first seed, either checkpointing every `every` virtual seconds to
-/// `path` (atomic temp-file + rename) or resuming from an existing snapshot.
-/// Both paths print the same fingerprint JSON on success.
+/// on the first seed. `--checkpoint-every <secs> --checkpoint-path <file>`
+/// writes the latest snapshot every interval (atomic temp-file + rename);
+/// `--resume-from <file>` restores an existing snapshot and runs to the
+/// horizon. The flags **combine**: a resumed run keeps checkpointing past
+/// the restored time, so a preempted nightly job can be re-dispatched any
+/// number of times and always picks up from its latest snapshot. Every
+/// path prints the same fingerprint JSON on success.
 fn run_checkpoint_mode(
     label: &str,
     peers: usize,
@@ -398,7 +419,7 @@ fn run_checkpoint_mode(
     config.shards = options.shards;
     config.checkpoint_every_s = checkpoint.map(|(every, _)| every);
 
-    let report = match resume_from {
+    let simulation = match resume_from {
         Some(path) => {
             let bytes = std::fs::read(path).unwrap_or_else(|e| {
                 eprintln!("scale bench: cannot read checkpoint {path}: {e}");
@@ -409,13 +430,15 @@ fn run_checkpoint_mode(
                 std::process::exit(1);
             });
             eprintln!("== tier {label}: resuming from {path} ==");
-            simulation.run()
+            simulation
         }
-        None => {
-            let (every, path) = checkpoint.expect("checkpoint mode needs one of the two flags");
+        None => Simulation::new(config.clone(), seed),
+    };
+    let report = match checkpoint {
+        Some((every, path)) => {
             let tmp = format!("{path}.tmp");
             eprintln!("== tier {label}: checkpointing every {every}s to {path} ==");
-            Simulation::new(config.clone(), seed).run_checkpointed(every, |at, simulation| {
+            simulation.run_checkpointed(every, |at, simulation| {
                 let write = || -> std::io::Result<()> {
                     let mut file = std::fs::File::create(&tmp)?;
                     simulation
@@ -431,15 +454,27 @@ fn run_checkpoint_mode(
                 eprintln!("   checkpoint at t={at} -> {path}");
             })
         }
+        None => simulation.run(),
     };
     fingerprint_json(label, &config, seed, &report)
 }
 
 fn phase_json(profile: &PhaseProfile) -> String {
+    // Speculative = planned by a shard worker but never consumed at merge
+    // (the predicted miss was resolved by an earlier provider in the batch,
+    // or the stamps moved). A hit rate of 1.0 means zero wasted searches.
+    let speculative = profile.planned_searches - profile.planned_consumed;
+    let plan_hit_rate = if profile.planned_searches > 0 {
+        profile.planned_consumed as f64 / profile.planned_searches as f64
+    } else {
+        1.0
+    };
     format!(
         "{{\"events\":{},\"event_loop_s\":{:.3},\"generate_requests_s\":{:.3},\
          \"scheduling_s\":{:.3},\"ring_search_s\":{:.3},\"ring_searches\":{},\
-         \"shard_planning_s\":{:.3},\"transfers_s\":{:.3},\"maintenance_s\":{:.3},\
+         \"shard_planning_s\":{:.3},\"planning_breakdown\":{{\
+         \"true_miss_searches\":{},\"speculative_searches\":{},\
+         \"plan_hit_rate\":{:.4}}},\"transfers_s\":{:.3},\"maintenance_s\":{:.3},\
          \"population_s\":{:.3}}}",
         profile.events,
         profile.event_loop.as_secs_f64(),
@@ -448,6 +483,9 @@ fn phase_json(profile: &PhaseProfile) -> String {
         profile.ring_search.as_secs_f64(),
         profile.ring_searches,
         profile.shard_planning.as_secs_f64(),
+        profile.planned_consumed,
+        speculative,
+        plan_hit_rate,
         profile.transfers.as_secs_f64(),
         profile.maintenance.as_secs_f64(),
         profile.population.as_secs_f64(),
@@ -636,8 +674,8 @@ fn main() {
         // `cargo bench` with no arguments (or `--no-run`) must stay cheap:
         // the tiers run minutes each and are requested explicitly.
         eprintln!(
-            "scale bench: pass `-- --tier 1k|5k|10k|churn-10k|100k|full [--seeds n] [--shards n] \
-             [--out BENCH_scale.json]` to run a tier; doing nothing."
+            "scale bench: pass `-- --tier 1k|5k|10k|churn-10k|100k|multicore|full [--seeds n] \
+             [--shards n] [--out BENCH_scale.json]` to run a tier; doing nothing."
         );
         return;
     };
@@ -650,6 +688,11 @@ fn main() {
         "10k" => vec![("10k", 10_000, false)],
         "churn-10k" => vec![("churn-10k", 10_000, true)],
         "100k" => vec![("100k", 100_000, false)],
+        // The nightly multi-core job: the two 10k-peer workloads where the
+        // worker pool has real parallel work, producing the
+        // `BENCH_scale_multicore.json` baseline that `bench_gate
+        // --require-speedup` enforces `speedup_sharded > 1` against.
+        "multicore" => vec![("10k", 10_000, false), ("churn-10k", 10_000, true)],
         "full" => vec![
             ("1k", 1_000, false),
             ("5k", 5_000, false),
@@ -665,7 +708,7 @@ fn main() {
         other => {
             eprintln!(
                 "scale bench: unknown tier '{other}' \
-                 (expected 1k|5k|10k|churn-10k|100k|full|all)"
+                 (expected 1k|5k|10k|churn-10k|100k|multicore|full|all)"
             );
             std::process::exit(2);
         }
@@ -684,10 +727,6 @@ fn main() {
             }
             (None, _) => None,
         };
-        if checkpoint.is_some() && resume_from.is_some() {
-            eprintln!("scale bench: --checkpoint-every and --resume-from are mutually exclusive");
-            std::process::exit(2);
-        }
         let json = run_checkpoint_mode(
             label,
             *peers,

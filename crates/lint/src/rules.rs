@@ -26,7 +26,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "D003",
         severity: Severity::Error,
-        summary: "thread creation (thread::spawn / thread::scope) outside simulation/shard.rs \
+        summary: "thread creation (thread::spawn / thread::scope) outside simulation/pool.rs \
                   and the scenario sweep runner",
     },
     RuleInfo {
@@ -61,10 +61,13 @@ pub const RULES: &[RuleInfo] = &[
 /// Crates whose state feeds simulation outcomes: D001/D004 scope.
 const SIM_STATE_CRATES: &[&str] = &["sim", "des", "core", "credit", "workload"];
 
-/// Files allowed to create threads (the sharded scheduler's scoped worker
-/// pool and the scenario sweep runner).
+/// Files allowed to create threads: the sharded scheduler's persistent
+/// worker pool (workers read an immutable `BatchJob` and report through a
+/// deterministic single-threaded merge — see `simulation/pool.rs`) and the
+/// scenario sweep runner.  `shard.rs` itself no longer spawns: the
+/// per-batch `thread::scope` fan-out was replaced by the pool.
 const D003_ALLOWED_FILES: &[&str] = &[
-    "crates/sim/src/simulation/shard.rs",
+    "crates/sim/src/simulation/pool.rs",
     "crates/sim/src/scenario.rs",
 ];
 
@@ -74,6 +77,7 @@ const H001_FILES: &[&str] = &[
     "crates/sim/src/simulation/scheduling.rs",
     "crates/sim/src/simulation/transfers.rs",
     "crates/sim/src/simulation/shard.rs",
+    "crates/sim/src/simulation/pool.rs",
     "crates/sim/src/simulation/maintenance.rs",
     "crates/sim/src/simulation/population.rs",
     "crates/sim/src/simulation/snapshot.rs",
@@ -667,7 +671,7 @@ fn rule_d003(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
                 "D003",
                 tokens[i + 3].line,
                 format!(
-                    "`thread::{}` outside simulation/shard.rs and the scenario sweep \
+                    "`thread::{}` outside simulation/pool.rs and the scenario sweep \
                      runner: concurrency must stay behind the deterministic-merge \
                      boundary — move the parallelism there or suppress with a reason",
                     tokens[i + 3].text

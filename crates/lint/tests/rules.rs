@@ -94,9 +94,9 @@ fn d003_fires_and_suppresses() {
 }
 
 #[test]
-fn d003_allowed_in_shard_and_scenario() {
+fn d003_allowed_in_pool_and_scenario() {
     for path in [
-        "crates/sim/src/simulation/shard.rs",
+        "crates/sim/src/simulation/pool.rs",
         "crates/sim/src/scenario.rs",
     ] {
         let diagnostics = lint_source(path, &fixture("d003.rs"));

@@ -90,13 +90,22 @@ pub struct SimConfig {
     /// Number of worker shards the scheduling hot path fans out to (1 =
     /// fully sequential, the default).  Within one event timestamp, the
     /// ring searches and serve-queue assemblies of a `TrySchedule` batch are
-    /// partitioned by provider across this many scoped worker threads, each
-    /// with its own [`exchange::SearchScratch`]; the resulting candidate
-    /// decisions are then applied by a single-threaded merge in the event
-    /// queue's deterministic order.  Reports are **bit-identical** for every
-    /// shard count — the knob trades threads for wall-clock, never accuracy
-    /// (see `tests/sharded_equivalence.rs`).
+    /// partitioned by provider across a **persistent pool** of this many
+    /// worker threads (spawned lazily at the first sharded batch, joined
+    /// when the simulation drops), each with its own long-lived
+    /// [`exchange::SearchScratch`]; the resulting candidate decisions are
+    /// then applied by a single-threaded merge in the event queue's
+    /// deterministic order.  Reports are **bit-identical** for every shard
+    /// count — the knob trades threads for wall-clock, never accuracy (see
+    /// `tests/sharded_equivalence.rs` and `tests/shard_pool.rs`).
     pub shards: usize,
+    /// Minimum number of distinct plannable providers a same-timestamp
+    /// `TrySchedule` batch needs before it fans out to the worker pool;
+    /// smaller batches are handled inline.  `0` (the default) means
+    /// `max(shards, 2)`, the pre-knob behavior.  Purely a
+    /// latency/throughput trade — planned and inline handling are
+    /// bit-identical, so this never affects results.
+    pub shard_min_batch: usize,
     /// Interval between on-disk checkpoints of the full simulation state,
     /// in virtual seconds (`None` = no checkpointing, the default).  Resuming
     /// from any checkpoint is **bit-identical** to the uninterrupted run,
@@ -156,6 +165,7 @@ impl SimConfig {
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
             shards: 1,
+            shard_min_batch: 0,
             checkpoint_every_s: None,
             sim_duration_s: 48.0 * 3600.0,
             warmup_s: 8.0 * 3600.0,
@@ -195,6 +205,7 @@ impl SimConfig {
             ring_candidate_cache: true,
             ring_cache_granularity: CacheGranularity::Entry,
             shards: 1,
+            shard_min_batch: 0,
             checkpoint_every_s: None,
             sim_duration_s: 3_000.0,
             warmup_s: 0.0,
@@ -452,6 +463,7 @@ mod tests {
             assert!(c.ring_candidate_cache);
             assert_eq!(c.ring_cache_granularity, CacheGranularity::Entry);
             assert_eq!(c.shards, 1, "sharding is strictly opt-in");
+            assert_eq!(c.shard_min_batch, 0, "0 = the max(shards, 2) auto floor");
         }
     }
 

@@ -77,6 +77,22 @@ impl Simulation {
                 Event::TrySchedule(first) if self.config.shards > 1 => {
                     let batch = self.collect_try_schedule_batch(first);
                     let mut plan = self.plan_batch(&batch);
+                    // Pool-protocol invariants, checked with plain panics:
+                    // the pool and plan are not serialized, so the
+                    // checkpoint-dumping audit path could not replay them
+                    // anyway.  A plan must be stamped at the live state it
+                    // was computed against, and every worker must be parked
+                    // again once the batch barrier returns.
+                    if let Some(plan) = &plan {
+                        assert!(
+                            plan.stamps_current(self.graph.generation(), self.world_epoch),
+                            "a batch plan carries stale stamps at merge time"
+                        );
+                    }
+                    assert!(
+                        self.shard_pool_idle(),
+                        "a shard worker is still busy after its batch barrier"
+                    );
                     for &provider in &batch {
                         let planned = plan.as_mut().and_then(|p| p.provider_mut(provider));
                         self.handle_try_schedule_planned(provider, planned);

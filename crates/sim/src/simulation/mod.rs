@@ -16,6 +16,7 @@
 pub mod audit;
 mod events;
 mod maintenance;
+mod pool;
 mod population;
 mod ring_cache;
 mod scheduling;
@@ -28,6 +29,8 @@ pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use credit::UploadScheduler;
@@ -146,8 +149,12 @@ impl SimSetup {
 ///
 /// Sharded runs ([`SimConfig::shards`] > 1) additionally report
 /// `shard_planning` — the wall clock of the parallel search/queue windows —
-/// and account worker-side search time into `ring_search` as summed CPU
-/// time, which can exceed the wall clock of the window it ran in.
+/// plus the planning breakdown `planned_searches`/`planned_consumed`.
+/// Worker-side search time enters `ring_search` only when the merge
+/// *consumes* the planned trace (as summed CPU time, which can exceed the
+/// wall clock of the window it ran in); a speculative search the merge
+/// discards stays inside `shard_planning`, so `ring_search`/`ring_searches`
+/// match the sequential engine's totals exactly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseProfile {
     /// Total events dispatched.
@@ -167,6 +174,13 @@ pub struct PhaseProfile {
     /// Wall clock of the sharded batch-planning windows (zero when
     /// [`SimConfig::shards`] is 1).
     pub shard_planning: Duration,
+    /// Searches shard workers ran ahead of the merge (zero for sequential
+    /// runs).  `planned_searches - planned_consumed` is the speculative
+    /// waste the worker-side eligibility + cache-peek filters left behind.
+    pub planned_searches: u64,
+    /// Worker-run searches the merge actually consumed in place of an
+    /// inline search (each is also counted in `ring_searches`).
+    pub planned_consumed: u64,
     /// Time spent completing transfer blocks.
     pub transfers: Duration,
     /// Time spent in storage-maintenance passes.
@@ -258,6 +272,14 @@ pub struct Simulation {
     /// Bumped whenever a transfer starts or ends; lets the scheduling loop
     /// detect that an assembled non-exchange queue is still current.
     transfer_epoch: u64,
+    /// Bumped only when a transfer *ends*.  A serve queue whose graph/world
+    /// stamps and end epoch still match saw at most transfer starts since it
+    /// was built, and starts only shrink its eligible entry set — so it can
+    /// be patched in place instead of rebuilt (see
+    /// [`scheduling::ServeQueue`]).  Deliberately not serialized: serve
+    /// queues are event-locals that never straddle a checkpoint, so a
+    /// restored run safely restarts the counter at zero.
+    transfer_end_epoch: u64,
     /// Bumped whenever a peer's storage (and with it the claims oracle)
     /// changes outside the request graph: a completed download entering the
     /// store, a maintenance eviction.  Together with
@@ -273,9 +295,14 @@ pub struct Simulation {
     /// Retries only arm when this is zero, so the on-demand retry chain
     /// stays singular even across a completion's immediate regeneration.
     generate_queued: Vec<u32>,
-    /// One search scratch per shard worker, kept warm across batches
-    /// (empty while [`SimConfig::shards`] is 1).
-    shard_scratches: Vec<SearchScratch<PeerId, ObjectId>>,
+    /// The persistent shard worker pool, spawned lazily by the first batch
+    /// that fans out and joined when the simulation drops (`None` while
+    /// [`SimConfig::shards`] is 1, after a restore, or before the first
+    /// sharded batch).  Never serialized — a restored run respawns lazily.
+    pool: Option<pool::ShardPool>,
+    /// Live shard-worker thread count, shared with the pool's workers; the
+    /// audit harness asserts it returns to zero once the simulation drops.
+    shard_census: Arc<AtomicUsize>,
     /// Set by [`run_profiled`](Self::run_profiled): fresh ring searches time
     /// themselves into `ring_search_nanos`.
     profile_searches: bool,
@@ -295,6 +322,10 @@ pub struct Simulation {
     ring_search_nanos: Cell<u64>,
     /// Number of fresh ring searches run (profiled runs only).
     ring_searches: Cell<u64>,
+    /// Searches shard workers ran ahead of the merge (profiled runs only).
+    planned_searches: Cell<u64>,
+    /// Planned searches the merge consumed (profiled runs only).
+    planned_consumed: Cell<u64>,
 }
 
 impl Simulation {
@@ -411,11 +442,13 @@ impl Simulation {
             advertisers,
             advertises,
             transfer_epoch: 0,
+            transfer_end_epoch: 0,
             world_epoch: 0,
             maintenance: MaintenanceSchedule::new(config_maintenance_interval),
             maintenance_pending: vec![false; num_peers],
             generate_queued: vec![0; num_peers],
-            shard_scratches: Vec::new(),
+            pool: None,
+            shard_census: Arc::new(AtomicUsize::new(0)),
             profile_searches: false,
             #[cfg(feature = "audit")]
             audit_fault_at: None,
@@ -423,6 +456,8 @@ impl Simulation {
             audit_dump_path: None,
             ring_search_nanos: Cell::new(0),
             ring_searches: Cell::new(0),
+            planned_searches: Cell::new(0),
+            planned_consumed: Cell::new(0),
         }
     }
 
@@ -455,6 +490,24 @@ impl Simulation {
     #[cfg(test)]
     pub(crate) fn set_scheduler(&mut self, scheduler: Box<dyn UploadScheduler<PeerId>>) {
         self.scheduler = scheduler;
+    }
+
+    /// The live shard-worker census, shared with the pool's threads.  It
+    /// counts workers this simulation spawned; audit-mode tests hold a clone
+    /// and assert it drains to zero once the simulation is dropped (no
+    /// worker thread outlives its `Simulation`).
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn shard_worker_census(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.shard_census)
+    }
+
+    /// Whether every pool worker is parked between batches with no unread
+    /// results — trivially true before the pool exists.  The audit harness
+    /// checks this after every merged batch.
+    #[cfg(feature = "audit")]
+    pub(crate) fn shard_pool_idle(&self) -> bool {
+        self.pool.as_ref().is_none_or(pool::ShardPool::idle)
     }
 
     /// Runs the simulation to its horizon and returns the collected report.
@@ -548,6 +601,14 @@ impl Simulation {
             if target >= horizon {
                 break;
             }
+            // A run resumed from a checkpoint starts mid-timeline; targets
+            // the original run already passed are skipped rather than
+            // re-announced (a fresh run starts at zero, so this never
+            // fires for it).
+            if target <= self.engine.now() {
+                k += 1;
+                continue;
+            }
             self.run_until(target);
             on_checkpoint(target, &self);
             k += 1;
@@ -634,6 +695,8 @@ impl Simulation {
         }
         profile.ring_search = Duration::from_nanos(self.ring_search_nanos.get());
         profile.ring_searches = self.ring_searches.get();
+        profile.planned_searches = self.planned_searches.get();
+        profile.planned_consumed = self.planned_consumed.get();
         (self.finalize(), profile)
     }
 

@@ -17,16 +17,27 @@ use super::Simulation;
 
 /// The non-exchange request queue assembled for one provider, reused across
 /// iterations of the scheduling loop — and seeded from a shard worker's
-/// precomputation — as long as its validity stamps still match: no transfer
-/// started or ended (`transfer_epoch`), no request edge changed
-/// (`generation`), no storage/claims change (`world_epoch`).  In the
-/// sequential engine only the transfer epoch can actually move between
-/// iterations; the other two stamps are insurance that keeps a future
+/// precomputation — as long as its validity stamps still match.
+///
+/// Reuse is tiered by what actually moved since the queue was built:
+///
+/// * nothing (`transfer_epoch` equal) — reuse verbatim;
+/// * only transfer **starts** (`transfer_end_epoch`, `generation` and
+///   `world_epoch` equal, `transfer_epoch` moved) — patch in place:
+///   under starts-only drift the eligible entry set can only *shrink*
+///   (download slots fill, `already_serving` pairs appear), so dropping the
+///   newly ineligible entries is provably identical to a full rebuild;
+/// * anything else (a transfer ended, a request edge changed, storage or
+///   claims moved) — rebuild from scratch.
+///
+/// In the scheduling loop only the transfer epochs can actually move
+/// between iterations; the graph stamps are insurance that keeps a future
 /// graph-mutating scheduling step from silently replaying a stale queue.
 pub(super) struct ServeQueue {
     pub(super) queue: Vec<QueuedRequest<PeerId>>,
     pub(super) objects: Vec<ObjectId>,
     pub(super) transfer_epoch: u64,
+    pub(super) transfer_end_epoch: u64,
     pub(super) generation: u64,
     pub(super) world_epoch: u64,
 }
@@ -46,24 +57,23 @@ impl Simulation {
     pub(super) fn handle_try_schedule_planned(
         &mut self,
         provider: PeerId,
-        plan: Option<&mut PlannedProvider>,
+        mut plan: Option<&mut PlannedProvider>,
     ) {
         // A departed peer serves nobody; a stale TrySchedule queued before
         // its departure is a no-op.
         if !self.peer(provider).sharing || !self.peer(provider).online {
             return;
         }
-        let (mut serve_queue, plan) = match plan {
-            Some(plan) => (plan.take_serve_queue(), Some(&*plan)),
-            None => (None, None),
-        };
+        let mut serve_queue = plan
+            .as_deref_mut()
+            .and_then(PlannedProvider::take_serve_queue);
         loop {
             let free_slot = self.peer(provider).upload_slots.has_free();
             let can_preempt = self.config.preemption && self.has_preemptible_upload(provider);
             let mut progressed = false;
 
             if self.config.discipline.allows_exchange() && (free_slot || can_preempt) {
-                progressed = self.try_form_exchange(provider, plan);
+                progressed = self.try_form_exchange(provider, plan.as_deref_mut());
             }
             if !progressed && self.peer(provider).upload_slots.has_free() {
                 progressed = self.serve_non_exchange(provider, &mut serve_queue);
@@ -93,7 +103,7 @@ impl Simulation {
     /// repeated scheduling rounds at a quiet provider skip the BFS entirely.
     /// When a shard `plan` carries a still-valid precomputed trace, it
     /// replaces the fresh BFS a miss would otherwise run — nothing else.
-    fn try_form_exchange(&mut self, provider: PeerId, plan: Option<&PlannedProvider>) -> bool {
+    fn try_form_exchange(&mut self, provider: PeerId, plan: Option<&mut PlannedProvider>) -> bool {
         let Some(policy) = self.config.discipline.search_policy() else {
             return false;
         };
@@ -132,17 +142,29 @@ impl Simulation {
     /// The shard-precomputed trace when it is provably identical to a fresh
     /// search (same wants, graph generation and world epoch unchanged since
     /// the snapshot), a fresh inline search otherwise.
+    ///
+    /// A consumed plan trace is *moved* out of the plan and counted as the
+    /// one `ring_search` it replaced (with the worker-side search time), so
+    /// the sharded engine's `ring_searches`/`ring_search_nanos` totals equal
+    /// the sequential engine's exactly — speculative worker searches the
+    /// merge never consumes appear only in `planned_searches`.
     fn planned_or_fresh_trace(
         &mut self,
         policy: exchange::SearchPolicy,
         provider: PeerId,
         wants: &[ObjectId],
-        plan: Option<&PlannedProvider>,
+        plan: Option<&mut PlannedProvider>,
     ) -> SearchTrace<PeerId, ObjectId> {
-        if let Some(trace) =
-            plan.and_then(|p| p.valid_trace(wants, self.graph.generation(), self.world_epoch))
+        if let Some((trace, nanos)) =
+            plan.and_then(|p| p.take_valid_trace(wants, self.graph.generation(), self.world_epoch))
         {
-            return trace.clone();
+            if self.profile_searches {
+                self.ring_search_nanos
+                    .set(self.ring_search_nanos.get() + nanos);
+                self.ring_searches.set(self.ring_searches.get() + 1);
+                self.planned_consumed.set(self.planned_consumed.get() + 1);
+            }
+            return trace;
         }
         self.search_rings(policy, provider, wants)
     }
@@ -414,16 +436,19 @@ impl Simulation {
     ///
     /// The assembled queue is kept in `cached` between iterations of the
     /// scheduling loop.  It is reused verbatim while no transfer started or
-    /// ended since it was built; after a successful serve it is patched in
-    /// place (the only entries a rebuild would drop are the served
-    /// `(requester, object)` pair and, if the requester's download slots
-    /// filled up, the requester's other entries).
+    /// ended since it was built; when only transfer *starts* intervened
+    /// (the epoch taxonomy [`ServeQueue`] documents) it is patched in place
+    /// instead of rebuilt — this is what lets a shard worker's precomputed
+    /// queue survive the earlier events of its batch, which can start
+    /// transfers but, within one timestamp, never complete them.
     fn serve_non_exchange(&mut self, provider: PeerId, cached: &mut Option<ServeQueue>) -> bool {
-        let current = matches!(cached, Some(sq) if sq.transfer_epoch == self.transfer_epoch
-            && sq.generation == self.graph.generation()
-            && sq.world_epoch == self.world_epoch);
-        if !current {
-            *cached = Some(self.batch_snapshot().build_serve_queue(provider));
+        let reusable = matches!(cached, Some(sq) if sq.generation == self.graph.generation()
+            && sq.world_epoch == self.world_epoch
+            && sq.transfer_end_epoch == self.transfer_end_epoch);
+        match cached.as_mut() {
+            Some(sq) if reusable && sq.transfer_epoch == self.transfer_epoch => {}
+            Some(sq) if reusable => self.patch_serve_queue(provider, sq),
+            _ => *cached = Some(self.batch_snapshot().build_serve_queue(provider)),
         }
         let sq = cached.as_mut().expect("serve queue was just built");
         if sq.queue.is_empty() {
@@ -452,34 +477,55 @@ impl Simulation {
             .objects
             .get(index)
             .expect("serve queue keeps objects parallel to queue");
-        let started = self
-            .start_transfer(provider, requester, object, SessionKind::NonExchange, None)
-            .is_some();
-        if started {
-            let requester_full = !self.peer(requester).download_slots.has_free();
-            let sq = cached.as_mut().expect("serve queue still present");
-            let mut kept_queue = Vec::with_capacity(sq.queue.len());
-            let mut kept_objects = Vec::with_capacity(sq.objects.len());
-            let entries = std::mem::take(&mut sq.queue)
-                .into_iter()
-                .zip(std::mem::take(&mut sq.objects));
-            for (entry, entry_object) in entries {
-                // Exactly what a rebuild would now drop: the pair just served
-                // (`already_serving`) and, if the requester ran out of
-                // download slots, its remaining entries.
-                let drop =
-                    entry.requester == requester && (requester_full || entry_object == object);
-                if !drop {
-                    kept_queue.push(entry);
-                    kept_objects.push(entry_object);
-                }
+        // A successful serve bumps only `transfer_epoch`; the next loop
+        // iteration's stamp check patches the queue lazily — there is no
+        // next iteration to pay for when the serve failed or the loop ends.
+        self.start_transfer(provider, requester, object, SessionKind::NonExchange, None)
+            .is_some()
+    }
+
+    /// Brings a starts-only-stale [`ServeQueue`] back to current, dropping
+    /// exactly the entries a full rebuild would now exclude.
+    ///
+    /// Transfer starts never touch the request graph, want issue times,
+    /// storage, claims, sharing flags or the clock (the graph/world stamps
+    /// already matched, and a batch shares one timestamp), so of
+    /// [`BatchSnapshot::build_serve_queue`]'s per-entry conditions only two
+    /// can have changed — and both only towards exclusion: the requester's
+    /// download slots may have filled, and the `(requester, object)` pair
+    /// may now be served by this provider.  Filtering on those two live
+    /// probes therefore reproduces the rebuild, at O(queue) with no graph
+    /// walk, no want lookups and no reciprocity scans.
+    ///
+    /// [`BatchSnapshot::build_serve_queue`]: super::shard::BatchSnapshot::build_serve_queue
+    fn patch_serve_queue(&self, provider: PeerId, sq: &mut ServeQueue) {
+        let mut kept_queue = Vec::with_capacity(sq.queue.len());
+        let mut kept_objects = Vec::with_capacity(sq.objects.len());
+        let entries = std::mem::take(&mut sq.queue)
+            .into_iter()
+            .zip(std::mem::take(&mut sq.objects));
+        for (entry, object) in entries {
+            if !self.peer(entry.requester).download_slots.has_free() {
+                continue;
             }
-            sq.queue = kept_queue;
-            sq.objects = kept_objects;
-            sq.transfer_epoch = self.transfer_epoch;
-            sq.generation = self.graph.generation();
-            sq.world_epoch = self.world_epoch;
+            let already_serving = self
+                .downloads_by_want
+                .get(&(entry.requester, object))
+                .is_some_and(|tids| {
+                    tids.iter().any(|tid| {
+                        self.transfers
+                            .get(tid)
+                            .is_some_and(|t| t.uploader == provider)
+                    })
+                });
+            if already_serving {
+                continue;
+            }
+            kept_queue.push(entry);
+            kept_objects.push(object);
         }
-        started
+        sq.queue = kept_queue;
+        sq.objects = kept_objects;
+        sq.transfer_epoch = self.transfer_epoch;
     }
 }

@@ -10,12 +10,17 @@
 //!
 //! 1. **Batch** — pop the maximal prefix of consecutive `TrySchedule` events
 //!    sharing the current timestamp.
-//! 2. **Plan** — partition the distinct providers across
-//!    [`SimConfig::shards`](crate::SimConfig::shards) scoped worker threads.
-//!    Each worker, against an immutable [`BatchSnapshot`] and with its own
-//!    [`SearchScratch`], emits candidate decisions: the traced ring search
-//!    (for providers the planner predicts will miss the candidate cache) and
-//!    the assembled non-exchange serve queue.
+//! 2. **Plan** — hand the batch to the persistent
+//!    [`ShardPool`](super::pool::ShardPool) of
+//!    [`SimConfig::shards`](crate::SimConfig::shards) workers.  The state the
+//!    workers read is *moved* into an owned
+//!    [`BatchJob`](super::pool::BatchJob) for the duration of the barrier, so
+//!    no `unsafe` and no scoped lifetimes are involved.  Each worker, with
+//!    its own long-lived [`SearchScratch`], plans only work the merge is
+//!    predicted to consume: a traced ring search for *slot-eligible*
+//!    providers whose `RingCandidateCache::peek` predicts a miss, and the
+//!    assembled non-exchange serve queue only where a free upload slot makes
+//!    it reachable.
 //! 3. **Merge** — a single thread replays the events **in their original
 //!    queue order** (the event queue's deterministic FIFO sequence), running
 //!    the exact sequential control flow — cache lookups and stores included,
@@ -28,9 +33,13 @@
 //!    order is irrelevant: workers never touch shared mutable state.
 //!
 //! The result is bit-identical to the sequential engine at every cache
-//! granularity, behavior mix and protection — `tests/sharded_equivalence.rs`
-//! and the `audit` feature prove it — while the searches, the dominant cost,
-//! run on all shards.
+//! granularity, behavior mix and protection — `tests/sharded_equivalence.rs`,
+//! `tests/shard_pool.rs` and the `audit` feature prove it — while the
+//! searches, the dominant cost, run on all shards, the planned searches are
+//! exactly the ones the sequential engine would run (sharded `ring_searches`
+//! counts consumed searches only, so it equals the sequential count), and
+//! the worker threads persist across batches instead of being respawned
+//! per batch.
 
 // The event loop's panic policy (exchange-lint rule H001): no `.unwrap()` —
 // every panicking access carries an `.expect()` stating the invariant that
@@ -39,8 +48,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::mem;
-use std::sync::Mutex;
-use std::thread;
+use std::sync::Arc;
 use std::time::Instant;
 
 use credit::QueuedRequest;
@@ -51,6 +59,7 @@ use workload::{ObjectId, PeerId};
 use crate::PeerState;
 
 use super::events::Event;
+use super::pool::{self, BatchJob, ShardPool};
 use super::scheduling::ServeQueue;
 use super::transfers::ActiveTransfer;
 use super::{PhaseProfile, Simulation, TransferId};
@@ -82,20 +91,24 @@ pub(super) fn claims_with(
     advertises[peer.as_usize()] && graph.incoming(peer).any(|r| r.object == object)
 }
 
-/// The immutable slice of simulation state a shard worker reads.  Built once
-/// per batch on the merge thread; the mutable side (engine, report, upload
-/// scheduler, ring cache, RNGs) never crosses a thread boundary.
+/// The immutable slice of simulation state a shard worker reads — borrowed
+/// either from the live simulation (the sequential serve-queue rebuild) or
+/// from the [`BatchJob`] the state was moved into for a batch barrier.  The
+/// mutable side (engine, report, upload scheduler, RNGs) never crosses a
+/// thread boundary.  Fields are `pub(super)`-in-`pool` via the sibling
+/// module's constructor ([`BatchJob::snapshot`]).
 pub(super) struct BatchSnapshot<'a> {
-    graph: &'a RequestGraph<PeerId, ObjectId>,
-    peers: &'a [PeerState],
-    advertises: &'a [bool],
-    transfers: &'a HashMap<TransferId, ActiveTransfer>,
-    downloads_by_want: &'a HashMap<(PeerId, ObjectId), Vec<TransferId>>,
-    now: SimTime,
-    needs_reciprocal: bool,
-    transfer_epoch: u64,
-    generation: u64,
-    world_epoch: u64,
+    pub(super) graph: &'a RequestGraph<PeerId, ObjectId>,
+    pub(super) peers: &'a [PeerState],
+    pub(super) advertises: &'a [bool],
+    pub(super) transfers: &'a HashMap<TransferId, ActiveTransfer>,
+    pub(super) downloads_by_want: &'a HashMap<(PeerId, ObjectId), Vec<TransferId>>,
+    pub(super) now: SimTime,
+    pub(super) needs_reciprocal: bool,
+    pub(super) transfer_epoch: u64,
+    pub(super) transfer_end_epoch: u64,
+    pub(super) generation: u64,
+    pub(super) world_epoch: u64,
 }
 
 impl BatchSnapshot<'_> {
@@ -106,7 +119,7 @@ impl BatchSnapshot<'_> {
     /// Runs one traced ring search rooted at `provider` inside `scratch`.
     /// Identical to the sequential engine's fresh search: same policy
     /// object, same claims oracle, same graph.
-    fn search(
+    pub(super) fn search(
         &self,
         search: &RingSearch,
         scratch: &mut SearchScratch<PeerId, ObjectId>,
@@ -184,6 +197,7 @@ impl BatchSnapshot<'_> {
             queue,
             objects,
             transfer_epoch: self.transfer_epoch,
+            transfer_end_epoch: self.transfer_end_epoch,
             generation: self.generation,
             world_epoch: self.world_epoch,
         }
@@ -195,12 +209,19 @@ pub(super) struct PlannedProvider {
     /// The provider's wanted objects at snapshot time (the search key).
     wants: Vec<ObjectId>,
     /// Fresh traced search against the snapshot — present when the planner
-    /// predicted a cache miss (or the cache is disabled), absent when a live
-    /// cache entry will answer the lookup.
+    /// predicted the merge would consume it: a slot-eligible provider whose
+    /// candidate-cache peek predicted a miss (or the cache is disabled).
+    /// *Moved* into the merge on consumption: it feeds the ring-candidate
+    /// cache store directly, so the merge never clones or re-runs the
+    /// search it replaces.
     trace: Option<SearchTrace<PeerId, ObjectId>>,
-    /// Assembled non-exchange queue, consumed by the provider's first event
-    /// of the batch (later events rebuild lazily, exactly like sequential).
+    /// Assembled non-exchange queue (only built where a free upload slot
+    /// made it reachable), consumed by the provider's first event of the
+    /// batch (later events rebuild lazily, exactly like sequential).
     serve_queue: Option<ServeQueue>,
+    /// Worker-side nanoseconds of the search; folded into the `ring_search`
+    /// phase if and when the trace is consumed.
+    nanos: u64,
     /// Graph generation the plan was computed at.
     generation: u64,
     /// Simulation `world_epoch` (storage/claims state) at plan time.
@@ -213,17 +234,18 @@ impl PlannedProvider {
         self.serve_queue.take()
     }
 
-    /// The precomputed trace, if it is provably identical to what a fresh
-    /// search would return right now: same wants, and neither the request
-    /// graph nor the storage/claims state has moved since the snapshot.
-    pub(super) fn valid_trace(
-        &self,
+    /// Takes the precomputed trace and its search time, if the trace is
+    /// provably identical to what a fresh search would return right now:
+    /// same wants, and neither the request graph nor the storage/claims
+    /// state has moved since the snapshot.
+    pub(super) fn take_valid_trace(
+        &mut self,
         wants: &[ObjectId],
         generation: u64,
         world_epoch: u64,
-    ) -> Option<&SearchTrace<PeerId, ObjectId>> {
+    ) -> Option<(SearchTrace<PeerId, ObjectId>, u64)> {
         if self.generation == generation && self.world_epoch == world_epoch && self.wants == wants {
-            self.trace.as_ref()
+            self.trace.take().map(|trace| (trace, self.nanos))
         } else {
             None
         }
@@ -240,6 +262,17 @@ impl BatchPlan {
     pub(super) fn provider_mut(&mut self, provider: PeerId) -> Option<&mut PlannedProvider> {
         self.providers.get_mut(&provider)
     }
+
+    /// Whether every plan entry's stamps still match the live simulation —
+    /// the audit-mode invariant that a batch's precomputations are consumed
+    /// within the window they were computed for.
+    #[cfg(feature = "audit")]
+    pub(super) fn stamps_current(&self, generation: u64, world_epoch: u64) -> bool {
+        let fresh =
+            |p: &PlannedProvider| p.generation == generation && p.world_epoch == world_epoch;
+        // exchange-lint: allow(D001, reason = "order-independent all() over an invariant predicate; no simulation state derived")
+        self.providers.values().all(fresh)
+    }
 }
 
 impl Simulation {
@@ -255,6 +288,7 @@ impl Simulation {
             now: self.now(),
             needs_reciprocal: self.scheduler.needs_reciprocal(),
             transfer_epoch: self.transfer_epoch,
+            transfer_end_epoch: self.transfer_end_epoch,
             generation: self.graph.generation(),
             world_epoch: self.world_epoch,
         }
@@ -277,34 +311,38 @@ impl Simulation {
         batch
     }
 
-    /// Fans the batch's read-only work out across the shard workers.
+    /// Fans the batch's read-only work out across the persistent worker
+    /// pool (created lazily on the first batch that reaches it).
     ///
     /// Returns `None` (fall back to fully sequential handling) for batches
-    /// too small to amortise the thread fan-out.  Before planning, the graph
-    /// dirty log is drained iff the first scheduling attempt of the batch
-    /// would drain it — between the two possible drain points no cache
-    /// operation can occur, so invalidation totals are unchanged.
+    /// too small to amortise the barrier
+    /// ([`SimConfig::shard_min_batch`](crate::SimConfig::shard_min_batch)).
+    /// Before planning, the graph dirty log is drained iff the first
+    /// scheduling attempt of the batch would drain it — between the two
+    /// possible drain points no cache operation can occur, so invalidation
+    /// totals are unchanged.  Slot eligibility and the candidate-cache
+    /// `peek` are evaluated *worker-side* against the moved-out state, so
+    /// workers only run searches the merge is predicted to consume.
     pub(super) fn plan_batch(&mut self, batch: &[PeerId]) -> Option<BatchPlan> {
-        let shards = self.config.shards;
         let policy = self.config.discipline.search_policy();
         if self.config.ring_candidate_cache && policy.is_some() {
             self.drain_graph_deltas();
         }
         // Distinct sharing providers, first-occurrence order.
         let mut seen: HashSet<PeerId> = HashSet::with_capacity(batch.len());
-        let mut tasks: Vec<(PeerId, Vec<ObjectId>, bool)> = Vec::with_capacity(batch.len());
+        let mut tasks: Vec<(PeerId, Vec<ObjectId>)> = Vec::with_capacity(batch.len());
         for &provider in batch {
             if !seen.insert(provider) || !self.peer(provider).sharing || !self.peer(provider).online
             {
                 continue;
             }
-            let wants = self.peer(provider).wanted_objects();
-            let want_search = policy.is_some()
-                && !wants.is_empty()
-                && (!self.config.ring_candidate_cache || !self.ring_cache.peek(provider, &wants));
-            tasks.push((provider, wants, want_search));
+            tasks.push((provider, self.peer(provider).wanted_objects()));
         }
-        if tasks.len() < shards.max(2) {
+        let min_batch = match self.config.shard_min_batch {
+            0 => self.config.shards.max(2),
+            floor => floor.max(2),
+        };
+        if tasks.len() < min_batch {
             return None;
         }
 
@@ -313,74 +351,69 @@ impl Simulation {
                 .with_expansion_budget(self.config.ring_search_budget)
                 .with_fanout(self.config.ring_search_fanout)
         });
-        let mut scratches = mem::take(&mut self.shard_scratches);
-        if scratches.len() < shards {
-            scratches.resize_with(shards, SearchScratch::new);
-        }
         let profiling = self.profile_searches;
-        type Slot = (Option<SearchTrace<PeerId, ObjectId>>, ServeQueue, u64);
-        let slots: Vec<Mutex<Option<Slot>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-        {
-            let snapshot = self.batch_snapshot();
-            let tasks = &tasks;
-            let slots = &slots;
-            let search = &search;
-            let snapshot = &snapshot;
-            thread::scope(|scope| {
-                for (worker, scratch) in scratches.iter_mut().enumerate().take(shards) {
-                    scope.spawn(move || {
-                        for (index, (provider, wants, want_search)) in tasks.iter().enumerate() {
-                            if index % shards != worker {
-                                continue;
-                            }
-                            let mut nanos = 0u64;
-                            let trace = want_search.then(|| {
-                                let search = search.as_ref().expect("want_search implies a policy");
-                                // exchange-lint: allow(D002, reason = "profiling only: feeds PhaseProfile, never simulation state")
-                                let started = profiling.then(Instant::now);
-                                let trace = snapshot.search(search, scratch, *provider, wants);
-                                if let Some(started) = started {
-                                    nanos = started.elapsed().as_nanos() as u64;
-                                }
-                                trace
-                            });
-                            let queue = snapshot.build_serve_queue(*provider);
-                            *slots
-                                .get(index)
-                                .expect("slots was sized to tasks, which index enumerates")
-                                .lock()
-                                .expect("a worker panicked mid-batch") =
-                                Some((trace, queue, nanos));
-                        }
-                    });
-                }
-            });
-        }
-        self.shard_scratches = scratches;
+        // Scalars first (struct literal fields evaluate in order), then the
+        // owned state moves out for the duration of the barrier.
+        let job = BatchJob {
+            now: self.now(),
+            needs_reciprocal: self.scheduler.needs_reciprocal(),
+            transfer_epoch: self.transfer_epoch,
+            transfer_end_epoch: self.transfer_end_epoch,
+            generation: self.graph.generation(),
+            world_epoch: self.world_epoch,
+            search,
+            cache_enabled: self.config.ring_candidate_cache,
+            allows_exchange: self.config.discipline.allows_exchange(),
+            preemption: self.config.preemption,
+            profiling,
+            tasks,
+            graph: mem::take(&mut self.graph),
+            peers: mem::take(&mut self.peers),
+            advertises: mem::take(&mut self.advertises),
+            transfers: mem::take(&mut self.transfers),
+            downloads_by_want: mem::take(&mut self.downloads_by_want),
+            uploads_by_peer: mem::take(&mut self.uploads_by_peer),
+            ring_cache: mem::take(&mut self.ring_cache),
+        };
+        let shards = self.config.shards;
+        let census = Arc::clone(&self.shard_census);
+        let pool = self
+            .pool
+            .get_or_insert_with(|| ShardPool::new(shards, census));
+        let (job, results) = pool.run(job);
 
-        let generation = self.graph.generation();
-        let world_epoch = self.world_epoch;
-        let mut providers = HashMap::with_capacity(tasks.len());
-        for ((provider, wants, _), slot) in tasks.into_iter().zip(slots) {
-            let (trace, serve_queue, nanos) = slot
-                .into_inner()
-                .expect("a worker panicked mid-batch")
-                .expect("every task slot is filled by its worker");
-            if profiling {
-                self.ring_search_nanos
-                    .set(self.ring_search_nanos.get() + nanos);
-                if trace.is_some() {
-                    self.ring_searches.set(self.ring_searches.get() + 1);
-                }
+        self.graph = job.graph;
+        self.peers = job.peers;
+        self.advertises = job.advertises;
+        self.transfers = job.transfers;
+        self.downloads_by_want = job.downloads_by_want;
+        self.uploads_by_peer = job.uploads_by_peer;
+        self.ring_cache = job.ring_cache;
+
+        let mut providers = HashMap::with_capacity(results.len());
+        for (provider, slot) in results {
+            if profiling && slot.trace.is_some() {
+                // A worker ran a search; whether it was wasted speculation
+                // is only known at consumption time, where `ring_searches`
+                // and `ring_search_nanos` are advanced (`planned_consumed`)
+                // so the sharded totals equal the sequential engine's.
+                self.planned_searches.set(self.planned_searches.get() + 1);
             }
+            let pool::PlannedSlot {
+                wants,
+                trace,
+                serve_queue,
+                nanos,
+            } = slot;
             providers.insert(
                 provider,
                 PlannedProvider {
                     wants,
                     trace,
-                    serve_queue: Some(serve_queue),
-                    generation,
-                    world_epoch,
+                    serve_queue,
+                    nanos,
+                    generation: job.generation,
+                    world_epoch: job.world_epoch,
                 },
             );
         }

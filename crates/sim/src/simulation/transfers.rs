@@ -369,6 +369,11 @@ impl Simulation {
             return;
         };
         self.transfer_epoch += 1;
+        // Ends can *loosen* serve-queue eligibility (slots free up, pairs
+        // stop being served); the separate end epoch lets the scheduling
+        // loop tell starts-only drift — where a cached queue can be patched
+        // in place — from drift that demands a rebuild.
+        self.transfer_end_epoch += 1;
         self.peer_mut(transfer.uploader).upload_slots.release();
         self.peer_mut(transfer.downloader).download_slots.release();
         if let Some(want) = self

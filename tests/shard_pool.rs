@@ -1,0 +1,163 @@
+//! Lifecycle properties of the persistent shard worker pool (ISSUE 10).
+//!
+//! The pool replaces the per-batch `thread::scope` fan-out: workers are
+//! spawned lazily at the first sharded batch, keep their search scratches
+//! warm across batches, and are joined when the owning `Simulation` drops.
+//! None of that may be visible in the results: reports stay bit-identical
+//! to the sequential engine across pool sizes, across a pool reused for
+//! consecutive run calls, and across a checkpoint/restore that straddles
+//! sharded batches (the restored run respawns its own pool).  The tentpole
+//! accounting claim — sharded planning does strictly useful search work —
+//! is pinned here too: a profiled sharded run reports exactly the
+//! sequential engine's `ring_searches`.
+
+use p2p_exchange::sim::{SimConfig, SimReport, SimTime, Simulation};
+
+/// An exhaustive comparable fingerprint of one run, down to the ring-cache
+/// counters (which only match if the merge replays the exact sequential
+/// order of lookups, stores and invalidations).
+fn fingerprint(report: &SimReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        report.completed_downloads(),
+        report.total_sessions(),
+        report.session_end_counts().clone(),
+        report.total_rings(),
+        report.preemptions(),
+        report.ring_cache_stats(),
+    )
+}
+
+/// A configuration busy enough that batches actually reach the fan-out
+/// threshold (several same-timestamp TrySchedule events per lookup).
+fn busy_config() -> SimConfig {
+    let mut config = SimConfig::quick_test();
+    config.num_peers = 40;
+    config.sim_duration_s = 2_000.0;
+    config
+}
+
+fn run_with_shards(mut config: SimConfig, shards: usize, seed: u64) -> SimReport {
+    config.shards = shards;
+    Simulation::new(config, seed).run()
+}
+
+#[test]
+fn reports_are_bit_identical_across_pool_sizes() {
+    for seed in [3, 23] {
+        let sequential = run_with_shards(busy_config(), 1, seed);
+        for shards in [2, 8] {
+            let pooled = run_with_shards(busy_config(), shards, seed);
+            assert_eq!(
+                fingerprint(&pooled),
+                fingerprint(&sequential),
+                "pool size {shards}, seed {seed}"
+            );
+        }
+    }
+}
+
+/// The same pool instance serves every batch of `run_until(T/2)` and then
+/// every batch of the finishing `run()` — worker scratches carry state
+/// across the boundary, which must stay invisible in the report.
+#[test]
+fn a_pool_reused_across_consecutive_run_calls_changes_nothing() {
+    let seed = 7;
+    let straight = run_with_shards(busy_config(), 4, seed);
+
+    let mut config = busy_config();
+    config.shards = 4;
+    let mut split = Simulation::new(config.clone(), seed);
+    split.run_until(SimTime::from_secs_f64(config.sim_duration_s / 2.0));
+    let resumed = split.run();
+    assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+}
+
+/// A checkpoint taken mid-run under sharding restores into a simulation
+/// with *no* pool (the pool is never serialized); the restored run spawns a
+/// fresh one at its first batch and must still finish bit-identically.
+#[test]
+fn checkpoint_restore_straddling_sharded_batches_is_bit_identical() {
+    let seed = 11;
+    let mut config = busy_config();
+    config.shards = 4;
+    let straight = Simulation::new(config.clone(), seed).run();
+
+    let mut live = Simulation::new(config.clone(), seed);
+    live.run_until(SimTime::from_secs_f64(config.sim_duration_s / 2.0));
+    let mut bytes = Vec::new();
+    live.checkpoint(&mut bytes)
+        .expect("serializing into a Vec cannot fail");
+    drop(live); // the first pool joins here; the restored run gets its own
+    let resumed = Simulation::restore(&mut &bytes[..], &config)
+        .expect("a fresh checkpoint restores")
+        .run();
+    assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+}
+
+/// The tentpole accounting bar: the sharded engine counts (and times) only
+/// the planned searches the merge actually consumed, so `ring_searches`
+/// equals the sequential engine's exactly — speculation shows up only in
+/// the `planned_searches`/`planned_consumed` breakdown.
+#[test]
+fn sharded_ring_searches_equal_sequential() {
+    let seed = 5;
+    let mut config = busy_config();
+    config.shards = 4;
+    let (sharded, sharded_profile) = Simulation::new(config.clone(), seed).run_profiled();
+    config.shards = 1;
+    let (sequential, sequential_profile) = Simulation::new(config, seed).run_profiled();
+    assert_eq!(fingerprint(&sharded), fingerprint(&sequential));
+    assert_eq!(
+        sharded_profile.ring_searches, sequential_profile.ring_searches,
+        "sharded planning must do strictly the searches the merge consumes"
+    );
+    assert!(
+        sharded_profile.planned_searches > 0,
+        "the workload must actually fan batches out to the pool"
+    );
+    assert!(
+        sharded_profile.planned_consumed <= sharded_profile.planned_searches,
+        "consumed plans are a subset of planned searches"
+    );
+    assert_eq!(
+        sequential_profile.planned_searches, 0,
+        "sequential runs never plan ahead"
+    );
+}
+
+/// No worker thread outlives the `Simulation` that spawned it: the census
+/// the workers maintain drains back to zero once the run consumes the
+/// simulation (the pool's drop joins every worker).
+#[cfg(feature = "audit")]
+#[test]
+fn no_worker_thread_outlives_the_simulation() {
+    use std::sync::atomic::Ordering;
+
+    let mut config = busy_config();
+    config.shards = 4;
+    let mut sim = Simulation::new(config, 7);
+    let census = sim.shard_worker_census();
+    assert_eq!(
+        census.load(Ordering::SeqCst),
+        0,
+        "the pool spawns lazily — no workers before the first sharded batch"
+    );
+    while census.load(Ordering::SeqCst) == 0 {
+        assert!(
+            sim.step().is_some(),
+            "the workload must reach a sharded batch before the horizon"
+        );
+    }
+    assert_eq!(
+        census.load(Ordering::SeqCst),
+        4,
+        "one worker per configured shard"
+    );
+    let report = sim.run(); // consumes (and drops) the simulation
+    assert!(report.total_sessions() > 0);
+    assert_eq!(
+        census.load(Ordering::SeqCst),
+        0,
+        "every worker thread must be joined when the simulation drops"
+    );
+}
